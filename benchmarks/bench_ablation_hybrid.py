@@ -1,0 +1,60 @@
+"""Ablation A3 — local post-processing of the spectral ordering (Section 4).
+
+The paper suggests "limited use of a local reordering strategy based on the
+adjacency structure to improve the envelope parameters obtained from the
+spectral method".  This harness compares, on the miscellaneous surrogate
+suite:
+
+* the plain spectral ordering,
+* the hybrid spectral + adjacency refinement (:mod:`repro.orderings.hybrid`),
+* Sloan's algorithm (the strongest classical local method), and
+* RCM (the baseline most packages ship).
+
+Results are written to ``benchmarks/results/ablation_hybrid.txt``.
+"""
+
+import pytest
+
+from common import TableCollector, cached_problem
+from repro.envelope.metrics import envelope_size, envelope_work
+from repro.orderings.registry import ORDERING_ALGORITHMS
+from repro.utils.timing import Timer
+
+PROBLEMS = ("CAN1072", "POW9", "BLKHOLE", "DWT2680", "SSTMODEL", "BARTH4")
+ALGORITHMS = ("spectral", "hybrid", "sloan", "rcm")
+
+_collector = TableCollector(
+    "ablation_hybrid.txt",
+    "Ablation A3 — spectral vs hybrid (spectral + local) vs Sloan vs RCM",
+    ["problem", "n", "algorithm", "envelope", "ework", "bandwidth", "time_s"],
+)
+
+
+@pytest.mark.parametrize(
+    "case",
+    [(p, a) for p in PROBLEMS for a in ALGORITHMS],
+    ids=lambda case: f"{case[0]}-{case[1]}",
+)
+def test_ablation_hybrid(benchmark, case):
+    problem, algorithm = case
+    benchmark.group = f"ablation-hybrid:{problem}"
+    pattern = cached_problem(problem)
+    timer = Timer()
+
+    def compute():
+        with timer:
+            return ORDERING_ALGORITHMS[algorithm](pattern)
+
+    ordering = benchmark.pedantic(compute, rounds=1, iterations=1)
+    from repro.envelope.metrics import bandwidth
+
+    _collector.add(
+        problem=problem,
+        n=pattern.n,
+        algorithm=algorithm.upper(),
+        envelope=envelope_size(pattern, ordering.perm),
+        ework=envelope_work(pattern, ordering.perm),
+        bandwidth=bandwidth(pattern, ordering.perm),
+        time_s=timer.laps[-1],
+    )
+    assert sorted(ordering.perm.tolist()) == list(range(pattern.n))

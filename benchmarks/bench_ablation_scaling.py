@@ -1,0 +1,68 @@
+"""Ablation A4 — the quadratic factorization-cost law behind Table 4.4.
+
+The paper concludes from Table 4.4 that envelope-factorization time grows
+roughly quadratically with the envelope size (per row), so halving the
+envelope much more than halves the factorization cost.  This harness factors
+a family of grid problems of increasing size under the spectral and RCM
+orderings, recording envelope size, the operation count of
+:func:`repro.factor.envelope_cholesky`, and wall-clock time, so that the
+cost-vs-envelope relationship can be fit.
+
+Results are written to ``benchmarks/results/ablation_scaling.txt``.
+"""
+
+import pytest
+
+from common import TableCollector
+from repro.collections.meshes import grid2d_pattern
+from repro.envelope.metrics import envelope_size
+from repro.factor.cholesky import envelope_cholesky, estimate_factor_work
+from repro.orderings.registry import ORDERING_ALGORITHMS
+from repro.utils.timing import Timer
+
+GRIDS = ((20, 20), (30, 30), (40, 40))
+ALGORITHMS = ("spectral", "rcm")
+
+_collector = TableCollector(
+    "ablation_scaling.txt",
+    "Ablation A4 — factorization cost vs envelope size (9-point grids)",
+    ["grid", "n", "algorithm", "envelope", "est_work", "factor_ops", "factor_time_s"],
+)
+
+_patterns = {}
+
+
+def _pattern(shape):
+    if shape not in _patterns:
+        _patterns[shape] = grid2d_pattern(*shape, stencil=9)
+    return _patterns[shape]
+
+
+@pytest.mark.parametrize(
+    "case",
+    [(g, a) for g in GRIDS for a in ALGORITHMS],
+    ids=lambda case: f"{case[0][0]}x{case[0][1]}-{case[1]}",
+)
+def test_ablation_scaling(benchmark, case):
+    shape, algorithm = case
+    benchmark.group = f"ablation-scaling:{shape[0]}x{shape[1]}"
+    pattern = _pattern(shape)
+    matrix = pattern.to_scipy("spd")
+    ordering = ORDERING_ALGORITHMS[algorithm](pattern)
+    timer = Timer()
+
+    def factor():
+        with timer:
+            return envelope_cholesky(matrix, perm=ordering.perm)
+
+    chol = benchmark.pedantic(factor, rounds=1, iterations=1)
+    _collector.add(
+        grid=f"{shape[0]}x{shape[1]}",
+        n=pattern.n,
+        algorithm=algorithm.upper(),
+        envelope=envelope_size(pattern, ordering.perm),
+        est_work=estimate_factor_work(pattern, ordering.perm),
+        factor_ops=chol.operations,
+        factor_time_s=timer.laps[-1],
+    )
+    assert chol.operations > 0

@@ -1,0 +1,30 @@
+"""Table 4.1 — Boeing-Harwell structural analysis set.
+
+Regenerates the paper's Table 4.1 (envelope size, bandwidth, run time and rank
+for SPECTRAL / GK / GPS / RCM) on synthetic surrogates of BCSSTK13 and
+BCSSTK29-33.  Results are written to ``benchmarks/results/table_4_1.txt``.
+
+Run with::
+
+    pytest benchmarks/bench_table_4_1.py --benchmark-only
+"""
+
+import pytest
+
+from common import TableCollector, bench_scale
+from table_harness import TABLE_COLUMNS, case_id, run_table_case, table_cases
+
+PROBLEMS = ("BCSSTK13", "BCSSTK29", "BCSSTK30", "BCSSTK31", "BCSSTK32", "BCSSTK33")
+
+_collector = TableCollector(
+    "table_4_1.txt",
+    f"Table 4.1 — Boeing-Harwell structural analysis (surrogates, scale={bench_scale()})",
+    TABLE_COLUMNS,
+)
+
+
+@pytest.mark.parametrize("case", table_cases(PROBLEMS), ids=case_id)
+def test_table_4_1(benchmark, case):
+    problem, algorithm = case
+    benchmark.group = f"table4.1:{problem}"
+    run_table_case(benchmark, _collector, problem, algorithm)

@@ -1,0 +1,30 @@
+"""Table 4.2 — Boeing-Harwell miscellaneous set.
+
+Regenerates the paper's Table 4.2 (CAN1072, POW9, BLKHOLE, DWT2680, SSTMODEL)
+on synthetic surrogates.  Results are written to
+``benchmarks/results/table_4_2.txt``.
+
+Run with::
+
+    pytest benchmarks/bench_table_4_2.py --benchmark-only
+"""
+
+import pytest
+
+from common import TableCollector, bench_scale
+from table_harness import TABLE_COLUMNS, case_id, run_table_case, table_cases
+
+PROBLEMS = ("CAN1072", "POW9", "BLKHOLE", "DWT2680", "SSTMODEL")
+
+_collector = TableCollector(
+    "table_4_2.txt",
+    f"Table 4.2 — Boeing-Harwell miscellaneous (surrogates, scale={bench_scale()})",
+    TABLE_COLUMNS,
+)
+
+
+@pytest.mark.parametrize("case", table_cases(PROBLEMS), ids=case_id)
+def test_table_4_2(benchmark, case):
+    problem, algorithm = case
+    benchmark.group = f"table4.2:{problem}"
+    run_table_case(benchmark, _collector, problem, algorithm)

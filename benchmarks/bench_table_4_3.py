@@ -1,0 +1,30 @@
+"""Table 4.3 — NASA structural / CFD set.
+
+Regenerates the paper's Table 4.3 (BARTH4, SHUTTLE, SKIRT, PWT, BODY, FLAP,
+IN3C) on synthetic surrogates.  Results are written to
+``benchmarks/results/table_4_3.txt``.
+
+Run with::
+
+    pytest benchmarks/bench_table_4_3.py --benchmark-only
+"""
+
+import pytest
+
+from common import TableCollector, bench_scale
+from table_harness import TABLE_COLUMNS, case_id, run_table_case, table_cases
+
+PROBLEMS = ("BARTH4", "SHUTTLE", "SKIRT", "PWT", "BODY", "FLAP", "IN3C")
+
+_collector = TableCollector(
+    "table_4_3.txt",
+    f"Table 4.3 — NASA problems (surrogates, scale={bench_scale()})",
+    TABLE_COLUMNS,
+)
+
+
+@pytest.mark.parametrize("case", table_cases(PROBLEMS), ids=case_id)
+def test_table_4_3(benchmark, case):
+    problem, algorithm = case
+    benchmark.group = f"table4.3:{problem}"
+    run_table_case(benchmark, _collector, problem, algorithm)

@@ -1,0 +1,101 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Every benchmark regenerates part of the paper's evaluation section:
+
+* ``bench_table_4_1.py`` / ``4_2`` / ``4_3`` — ordering quality and run time
+  for the four paper algorithms on each test-set surrogate (Tables 4.1-4.3);
+* ``bench_table_4_4.py`` — envelope factorization times under the spectral and
+  RCM orderings (Table 4.4);
+* ``bench_figures_4_1_to_4_5.py`` — structure plots of BARTH4 under the five
+  orderings (Figures 4.1-4.5);
+* ``bench_ablation_*.py`` — ablations of the design choices called out in
+  DESIGN.md.
+
+Surrogate sizes are controlled by the ``REPRO_BENCH_SCALE`` environment
+variable (default 0.05, i.e. about 5% of the paper's matrix orders, which
+keeps a full ``pytest benchmarks/ --benchmark-only`` run to a few minutes in
+pure Python).  Each harness also writes a human-readable results file under
+``benchmarks/results/`` so the numbers can be compared against the paper's
+tables (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.collections.registry import PAPER_PROBLEMS, load_problem
+from repro.envelope.metrics import envelope_statistics
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Surrogate scale used by the benchmark harnesses."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+@lru_cache(maxsize=None)
+def cached_problem(name: str, scale: float | None = None):
+    """Build (and memoize) the surrogate pattern for a paper problem."""
+    if scale is None:
+        scale = bench_scale()
+    pattern, _spec = load_problem(name, scale=scale)
+    return pattern
+
+
+def problem_spec(name: str):
+    """The :class:`repro.collections.registry.ProblemSpec` for *name*."""
+    return PAPER_PROBLEMS[name.upper()]
+
+
+class TableCollector:
+    """Accumulates paper-style rows and rewrites a results file after each update.
+
+    The file is rewritten on every :meth:`add` so that a partially executed
+    benchmark session still leaves a readable (if incomplete) table behind.
+    """
+
+    def __init__(self, filename: str, title: str, columns: list[str]):
+        self.path = RESULTS_DIR / filename
+        self.title = title
+        self.columns = columns
+        self.rows: list[dict] = []
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+        self.write()
+
+    def write(self) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        widths = {c: max(len(c), 14) for c in self.columns}
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(f"{c:>{widths[c]}}" for c in self.columns))
+        for row in self.rows:
+            cells = []
+            for c in self.columns:
+                value = row.get(c, "")
+                if isinstance(value, float):
+                    cells.append(f"{value:>{widths[c]}.4f}")
+                elif isinstance(value, int):
+                    cells.append(f"{value:>{widths[c]},}")
+                else:
+                    cells.append(f"{str(value):>{widths[c]}}")
+            lines.append("  ".join(cells))
+        self.path.write_text("\n".join(lines) + "\n")
+
+
+def ordering_row(pattern, problem: str, algorithm: str, ordering, seconds: float) -> dict:
+    """One Table 4.1-4.3 style row for a computed ordering."""
+    stats = envelope_statistics(pattern, ordering.perm)
+    return {
+        "problem": problem,
+        "n": stats.n,
+        "nnz": stats.nnz,
+        "algorithm": algorithm.upper(),
+        "envelope": stats.envelope_size,
+        "bandwidth": stats.bandwidth,
+        "ework": stats.envelope_work,
+        "time_s": float(seconds),
+    }

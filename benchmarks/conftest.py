@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of the rootdir pytest was invoked from.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,52 @@
+"""Shared driver for the Table 4.1 / 4.2 / 4.3 benchmark harnesses.
+
+Each paper table reports, per matrix and per algorithm: envelope size,
+bandwidth, ordering run time, and the rank of the algorithm by envelope size.
+The three bench modules differ only in their problem list, so the
+parametrization and row collection live here.
+"""
+
+from __future__ import annotations
+
+from common import TableCollector, cached_problem, ordering_row, problem_spec
+from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
+from repro.utils.timing import Timer
+
+TABLE_COLUMNS = [
+    "problem", "n", "nnz", "algorithm", "envelope", "bandwidth", "ework", "time_s",
+    "paper_envelope", "paper_bandwidth",
+]
+
+
+def table_cases(problems):
+    """(problem, algorithm) pairs in the paper's row order."""
+    return [(problem, algorithm) for problem in problems for algorithm in PAPER_ALGORITHMS]
+
+
+def case_id(case) -> str:
+    problem, algorithm = case
+    return f"{problem}-{algorithm}"
+
+
+def run_table_case(benchmark, collector: TableCollector, problem: str, algorithm: str):
+    """Benchmark one (problem, algorithm) cell and record the paper-style row."""
+    pattern = cached_problem(problem)
+    spec = problem_spec(problem)
+    func = ORDERING_ALGORITHMS[algorithm]
+    timer = Timer()
+
+    def compute():
+        with timer:
+            return func(pattern)
+
+    ordering = benchmark.pedantic(compute, rounds=1, iterations=1)
+    row = ordering_row(pattern, problem, algorithm, ordering, timer.laps[-1])
+    row["paper_envelope"] = spec.paper_envelopes[algorithm]
+    row["paper_bandwidth"] = spec.paper_bandwidths[algorithm]
+    collector.add(**row)
+    benchmark.extra_info.update(
+        {k: row[k] for k in ("problem", "algorithm", "n", "envelope", "bandwidth")}
+    )
+    # Sanity: the ordering must be a genuine permutation of the surrogate.
+    assert sorted(ordering.perm.tolist()) == list(range(pattern.n))
+    return row

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Envelope orderings as preorderings for IC(0)-preconditioned conjugate gradients.
+
+The paper's introduction points out that envelope-reducing orderings are also
+"an effective preordering in computing incomplete factorization
+preconditioners for preconditioned conjugate gradients methods".  This example
+measures that effect: it builds an SPD system on an unstructured mesh, runs
+plain CG, and then IC(0)-preconditioned CG under the natural, RCM, Sloan and
+spectral orderings, reporting iteration counts and run times.
+
+Run with::
+
+    python examples/preconditioned_cg.py [n_points]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.collections import airfoil_pattern
+from repro.orderings.registry import ORDERING_ALGORITHMS
+from repro.solvers import preconditioned_cg_experiment
+
+
+def main(argv: list[str]) -> None:
+    n_points = int(argv[1]) if len(argv) > 1 else 1200
+    pattern = airfoil_pattern(n_points, seed=4)
+    matrix = pattern.to_scipy("spd")
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal(pattern.n)
+    b = matrix @ x_true
+
+    print(f"Unstructured airfoil mesh: n={pattern.n}, nonzeros={matrix.nnz}\n")
+
+    plain = preconditioned_cg_experiment(matrix, b, None, preconditioner="none", tol=1e-8)
+    print(f"{'ordering':<10} {'preconditioner':<14} {'iterations':>10} "
+          f"{'setup (s)':>10} {'solve (s)':>10} {'error':>10}")
+    error = np.linalg.norm(plain.x - x_true) / np.linalg.norm(x_true)
+    print(f"{'natural':<10} {'none':<14} {plain.iterations:>10} "
+          f"{plain.setup_time:>10.3f} {plain.solve_time:>10.3f} {error:>10.2e}")
+
+    for name in ("natural", "rcm", "sloan", "spectral"):
+        ordering = None if name == "natural" else ORDERING_ALGORITHMS[name](pattern)
+        result = preconditioned_cg_experiment(matrix, b, ordering, preconditioner="ic0", tol=1e-8)
+        error = np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true)
+        print(f"{name:<10} {'ic0':<14} {result.iterations:>10} "
+              f"{result.setup_time:>10.3f} {result.solve_time:>10.3f} {error:>10.2e}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,160 @@
+"""Matrix-vector locality metrics of an ordering (the intro's matvec motivation).
+
+The paper's introduction notes that envelope-reducing orderings "have also
+been used in parallel matrix-vector multiplication".  The reason is locality:
+in ``y = A x``, row ``i`` reads ``x[j]`` for every nonzero ``a_ij``, so the
+spread of the column indices around the diagonal determines cache reuse (on
+one processor) and communication volume (across a row-wise partition).  This
+module quantifies that for a given ordering:
+
+* :func:`average_nonzero_distance` — mean ``|i - j|`` over the off-diagonal
+  nonzeros (``sigma_1 / offdiag-nnz``): small values mean the vector entries a
+  row touches are close together;
+* :func:`cache_line_spans` — for a given cache-line length, how many distinct
+  lines of ``x`` each row touches (total and per-row mean);
+* :func:`partition_communication_volume` — for a contiguous ``p``-way row
+  partition of the reordered matrix, how many remote ``x`` entries each part
+  must receive (the classic 1-D matvec communication volume).
+
+These metrics are descriptive (no benchmark claims absolute cache behaviour);
+the ablation-style tests check the expected ordering relationships, e.g. that
+an envelope-reducing ordering has far better locality than a random one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.envelope.sums import one_sum
+from repro.sparse.ops import structure_from_matrix
+from repro.utils.validation import check_permutation, require_positive_int
+
+__all__ = [
+    "average_nonzero_distance",
+    "cache_line_spans",
+    "partition_communication_volume",
+    "LocalityReport",
+    "locality_report",
+]
+
+
+def _positions(pattern, perm):
+    n = pattern.n
+    if perm is None:
+        return np.arange(n, dtype=np.intp)
+    perm = check_permutation(perm, n)
+    positions = np.empty(n, dtype=np.intp)
+    positions[perm] = np.arange(n, dtype=np.intp)
+    return positions
+
+
+def average_nonzero_distance(pattern, perm=None) -> float:
+    """Mean ``|i - j|`` over the off-diagonal nonzeros of the (re)ordered matrix."""
+    pattern = structure_from_matrix(pattern)
+    if pattern.num_edges == 0:
+        return 0.0
+    return one_sum(pattern, perm) / float(pattern.num_edges)
+
+
+def cache_line_spans(pattern, perm=None, line_length: int = 8) -> dict:
+    """Distinct ``x`` cache lines touched per row of the (re)ordered matrix.
+
+    Parameters
+    ----------
+    pattern:
+        Matrix structure.
+    perm:
+        Optional new-to-old ordering.
+    line_length:
+        Number of vector entries per cache line (8 doubles = one 64-byte line).
+
+    Returns
+    -------
+    dict
+        ``{"total": ..., "per_row_mean": ..., "per_row_max": ...}`` counting,
+        for every row, the distinct lines holding the ``x`` entries the row
+        reads (its own diagonal entry included).
+    """
+    pattern = structure_from_matrix(pattern)
+    line_length = require_positive_int(line_length, "line_length")
+    positions = _positions(pattern, perm)
+    n = pattern.n
+    counts = np.empty(n, dtype=np.intp)
+    for v in range(n):
+        cols = positions[pattern.neighbors(v)]
+        lines = np.unique(np.concatenate([cols, positions[v : v + 1]]) // line_length)
+        counts[positions[v]] = lines.size
+    return {
+        "total": int(counts.sum()),
+        "per_row_mean": float(counts.mean()) if n else 0.0,
+        "per_row_max": int(counts.max(initial=0)),
+    }
+
+
+def partition_communication_volume(pattern, parts: int, perm=None) -> dict:
+    """1-D (row-block) matvec communication volume under an ordering.
+
+    The reordered rows are split into ``parts`` contiguous blocks of (almost)
+    equal size; part ``p`` owns the corresponding block of ``x``.  For
+    ``y = A x`` each part must receive every remote ``x`` entry referenced by
+    one of its rows; the *communication volume* counts those (entry, receiving
+    part) pairs, and the cut counts edges joining different parts.
+
+    Returns
+    -------
+    dict
+        ``{"volume": ..., "cut_edges": ..., "max_part_volume": ...}``.
+    """
+    pattern = structure_from_matrix(pattern)
+    parts = require_positive_int(parts, "parts")
+    n = pattern.n
+    positions = _positions(pattern, perm)
+    if n == 0 or parts == 1:
+        return {"volume": 0, "cut_edges": 0, "max_part_volume": 0}
+    boundaries = np.linspace(0, n, parts + 1).astype(np.intp)
+    part_of_position = np.searchsorted(boundaries[1:], np.arange(n), side="right")
+
+    rows = np.repeat(np.arange(n), np.diff(pattern.indptr))
+    cols = pattern.indices
+    part_row = part_of_position[positions[rows]]
+    part_col = part_of_position[positions[cols]]
+    remote = part_row != part_col
+    # volume: distinct (owner position of x entry, receiving part) pairs
+    pairs = set(zip(positions[cols][remote].tolist(), part_row[remote].tolist()))
+    per_part = np.zeros(parts, dtype=np.intp)
+    for _, receiver in pairs:
+        per_part[receiver] += 1
+    # each undirected edge appears twice in the CSR structure; halve for the cut
+    cut_edges = int(remote.sum()) // 2
+    return {
+        "volume": len(pairs),
+        "cut_edges": cut_edges,
+        "max_part_volume": int(per_part.max(initial=0)),
+    }
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Bundle of the locality metrics of one ordering."""
+
+    average_distance: float
+    cache_total: int
+    cache_per_row_mean: float
+    communication_volume: int
+    cut_edges: int
+
+
+def locality_report(pattern, perm=None, *, line_length: int = 8, parts: int = 4) -> LocalityReport:
+    """Compute every locality metric of an ordering in one call."""
+    pattern = structure_from_matrix(pattern)
+    cache = cache_line_spans(pattern, perm, line_length=line_length)
+    comm = partition_communication_volume(pattern, parts, perm)
+    return LocalityReport(
+        average_distance=average_nonzero_distance(pattern, perm),
+        cache_total=cache["total"],
+        cache_per_row_mean=cache["per_row_mean"],
+        communication_volume=comm["volume"],
+        cut_edges=comm["cut_edges"],
+    )

@@ -1,0 +1,118 @@
+"""Comparison tables in the format of the paper's Tables 4.1-4.3.
+
+Each paper table row reports, for one matrix and one algorithm: the envelope
+size, the bandwidth, the ordering run time and the rank of the algorithm by
+envelope size.  :func:`comparison_table` produces exactly those rows for a
+set of orderings of one matrix, and :func:`format_table` renders them as a
+fixed-width text table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.envelope.metrics import envelope_statistics
+
+__all__ = ["ComparisonRow", "comparison_table", "rank_by", "format_table"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of a Table 4.x-style comparison."""
+
+    problem: str
+    algorithm: str
+    n: int
+    nnz: int
+    envelope_size: int
+    envelope_work: int
+    bandwidth: int
+    run_time: float
+    rank: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def rank_by(rows: list[ComparisonRow], key: str = "envelope_size") -> list[ComparisonRow]:
+    """Assign 1-based ranks by the given metric (smaller is better), per problem."""
+    by_problem: dict[str, list[ComparisonRow]] = {}
+    for row in rows:
+        by_problem.setdefault(row.problem, []).append(row)
+    ranked: list[ComparisonRow] = []
+    for problem_rows in by_problem.values():
+        order = np.argsort([getattr(r, key) for r in problem_rows], kind="stable")
+        ranks = np.empty(len(problem_rows), dtype=int)
+        ranks[order] = np.arange(1, len(problem_rows) + 1)
+        for row, rank in zip(problem_rows, ranks):
+            ranked.append(ComparisonRow(**{**row.__dict__, "rank": int(rank)}))
+    return ranked
+
+
+def comparison_table(
+    pattern,
+    orderings: dict,
+    problem: str = "problem",
+    run_times: dict | None = None,
+) -> list[ComparisonRow]:
+    """Build Table 4.x-style rows for several orderings of one matrix.
+
+    Parameters
+    ----------
+    pattern:
+        Matrix structure.
+    orderings:
+        Mapping ``algorithm name -> Ordering`` (or ``None`` for the natural
+        ordering).
+    problem:
+        Problem name recorded on every row.
+    run_times:
+        Optional mapping ``algorithm name -> seconds``.
+
+    Returns
+    -------
+    list of ComparisonRow, ranked by envelope size.
+    """
+    run_times = run_times or {}
+    rows = []
+    for name, ordering in orderings.items():
+        perm = None if ordering is None else ordering.perm
+        stats = envelope_statistics(pattern, perm)
+        rows.append(
+            ComparisonRow(
+                problem=problem,
+                algorithm=name,
+                n=stats.n,
+                nnz=stats.nnz,
+                envelope_size=stats.envelope_size,
+                envelope_work=stats.envelope_work,
+                bandwidth=stats.bandwidth,
+                run_time=float(run_times.get(name, 0.0)),
+            )
+        )
+    return rank_by(rows)
+
+
+def format_table(rows: list[ComparisonRow], title: str = "") -> str:
+    """Render comparison rows as a fixed-width text table (paper layout)."""
+    header = (
+        f"{'Problem':<12} {'(n)':>9} {'(nnz)':>11} {'Algorithm':<10} "
+        f"{'Envelope':>12} {'Bandwidth':>10} {'Time (s)':>10} {'Rank':>5}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append("-" * len(header))
+    previous_problem = None
+    for row in rows:
+        problem_label = row.problem if row.problem != previous_problem else ""
+        n_label = f"({row.n})" if row.problem != previous_problem else ""
+        nnz_label = f"({row.nnz})" if row.problem != previous_problem else ""
+        previous_problem = row.problem
+        lines.append(
+            f"{problem_label:<12} {n_label:>9} {nnz_label:>11} {row.algorithm.upper():<10} "
+            f"{row.envelope_size:>12,} {row.bandwidth:>10,} {row.run_time:>10.3f} {row.rank:>5}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Experiment runner: orchestrates the Table 4.1-4.3 style comparisons.
+
+The benchmark harnesses and ``examples/paper_tables.py`` both need the same
+operation: given a problem (a matrix structure), run a set of ordering
+algorithms on it, time each one, compute the envelope statistics of each
+result, and rank the algorithms.  :func:`run_comparison` does that for one
+problem, :func:`run_problem_suite` for a whole paper table of registered
+surrogate problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import ComparisonRow, comparison_table, format_table
+from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
+from repro.sparse.ops import structure_from_matrix
+from repro.utils.timing import Timer
+
+__all__ = ["ExperimentResult", "run_comparison", "run_problem_suite"]
+
+
+@dataclass
+class ExperimentResult:
+    """Result of one problem's comparison run.
+
+    Attributes
+    ----------
+    problem:
+        Problem name.
+    rows:
+        Ranked :class:`ComparisonRow` entries, one per algorithm.
+    orderings:
+        The computed :class:`repro.orderings.base.Ordering` objects by name.
+    run_times:
+        Ordering computation wall-clock times by algorithm name.
+    """
+
+    problem: str
+    rows: list = field(default_factory=list)
+    orderings: dict = field(default_factory=dict)
+    run_times: dict = field(default_factory=dict)
+
+    @property
+    def winner(self) -> str:
+        """Algorithm with the smallest envelope size."""
+        best = min(self.rows, key=lambda r: r.envelope_size)
+        return best.algorithm
+
+    def row_for(self, algorithm: str) -> ComparisonRow:
+        """The row of a specific algorithm (KeyError if absent)."""
+        for row in self.rows:
+            if row.algorithm == algorithm:
+                return row
+        raise KeyError(f"no row for algorithm {algorithm!r}")
+
+    def to_text(self) -> str:
+        """Render this result as a paper-style text table."""
+        return format_table(self.rows, title=f"Results for {self.problem}")
+
+
+def run_comparison(
+    pattern,
+    algorithms: tuple = PAPER_ALGORITHMS,
+    problem: str = "problem",
+    algorithm_options: dict | None = None,
+) -> ExperimentResult:
+    """Run several ordering algorithms on one matrix and tabulate the results.
+
+    Parameters
+    ----------
+    pattern:
+        Matrix structure (pattern, SciPy sparse matrix or dense array).
+    algorithms:
+        Iterable of registered algorithm names (default: the paper's four).
+    problem:
+        Problem name used in the rows.
+    algorithm_options:
+        Optional mapping ``name -> dict of keyword arguments``.
+
+    Returns
+    -------
+    ExperimentResult
+    """
+    pattern = structure_from_matrix(pattern)
+    algorithm_options = algorithm_options or {}
+    orderings = {}
+    run_times = {}
+    for name in algorithms:
+        func = ORDERING_ALGORITHMS[name]
+        options = algorithm_options.get(name, {})
+        timer = Timer()
+        with timer:
+            ordering = func(pattern, **options)
+        orderings[name] = ordering
+        run_times[name] = timer.elapsed
+    rows = comparison_table(pattern, orderings, problem=problem, run_times=run_times)
+    return ExperimentResult(problem=problem, rows=rows, orderings=orderings, run_times=run_times)
+
+
+def run_problem_suite(
+    problem_names,
+    algorithms: tuple = PAPER_ALGORITHMS,
+    scale: float | None = None,
+    algorithm_options: dict | None = None,
+) -> list[ExperimentResult]:
+    """Run the comparison over a list of registered surrogate problems.
+
+    Parameters
+    ----------
+    problem_names:
+        Iterable of names from :data:`repro.collections.registry.PAPER_PROBLEMS`.
+    algorithms:
+        Algorithm names to run.
+    scale:
+        Surrogate scale forwarded to the problem generators.
+    algorithm_options:
+        Per-algorithm keyword arguments.
+
+    Returns
+    -------
+    list of ExperimentResult, one per problem, in the given order.
+    """
+    from repro.collections.registry import load_problem
+
+    results = []
+    for name in problem_names:
+        pattern, spec = load_problem(name, scale=scale)
+        results.append(
+            run_comparison(
+                pattern,
+                algorithms=algorithms,
+                problem=spec.name,
+                algorithm_options=algorithm_options,
+            )
+        )
+    return results

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four subcommands cover the workflows a downstream user of an envelope solver
+actually runs:
+
+``reorder``
+    Read a matrix (Matrix Market or Harwell-Boeing), compute an
+    envelope-reducing ordering, report the envelope statistics and optionally
+    write the permutation and/or the reordered matrix to disk.
+
+``compare``
+    Run several ordering algorithms on a matrix (or on a named surrogate
+    problem from the paper's test sets) and print a Table 4.1-style ranked
+    comparison.
+
+``spy``
+    Print an ASCII structure plot of a matrix under a chosen ordering
+    (the Figure 4.1-4.5 view).
+
+``fiedler``
+    Compute the second Laplacian eigenvalue/eigenvector (algebraic
+    connectivity) of a matrix and print solver diagnostics.
+
+All commands accept either a file path or ``problem:NAME[@SCALE]`` to use one
+of the registered synthetic surrogates, e.g. ``problem:BARTH4@0.05``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import run_comparison
+from repro.analysis.spy import ascii_spy, band_profile
+from repro.collections.registry import available_problems, load_problem
+from repro.core.pipeline import reorder
+from repro.eigen.fiedler import FIEDLER_METHODS, fiedler_vector
+from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
+from repro.sparse.io_hb import read_harwell_boeing, write_harwell_boeing
+from repro.sparse.io_mm import read_matrix_market, write_matrix_market
+from repro.sparse.ops import permute_symmetric, structure_from_matrix
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_input(source: str):
+    """Load a matrix from a file path or a ``problem:NAME[@SCALE]`` reference.
+
+    Returns ``(pattern, matrix_or_none, label)``: the structure, the
+    values-carrying matrix when one exists (file inputs), and a display label.
+    """
+    if source.startswith("problem:"):
+        reference = source[len("problem:") :]
+        if "@" in reference:
+            name, scale_text = reference.split("@", 1)
+            scale = float(scale_text)
+        else:
+            name, scale = reference, None
+        pattern, spec = load_problem(name, scale=scale)
+        return pattern, None, f"{spec.name} surrogate (n={pattern.n})"
+    lower = source.lower()
+    if lower.endswith((".mtx", ".mm", ".mtx.gz")):
+        matrix = read_matrix_market(source)
+    elif lower.endswith((".rsa", ".psa", ".rua", ".pua", ".hb", ".rb")):
+        matrix = read_harwell_boeing(source)
+    else:
+        # Try Matrix Market first, then Harwell-Boeing.
+        try:
+            matrix = read_matrix_market(source)
+        except (ValueError, OSError):
+            matrix = read_harwell_boeing(source)
+    pattern = structure_from_matrix(matrix)
+    return pattern, matrix, f"{source} (n={pattern.n})"
+
+
+def _write_matrix(path: str, matrix) -> None:
+    if path.lower().endswith((".rsa", ".psa", ".hb")):
+        write_harwell_boeing(path, matrix)
+    else:
+        write_matrix_market(path, matrix)
+
+
+def _cmd_reorder(args) -> int:
+    pattern, matrix, label = _load_input(args.input)
+    report = reorder(pattern, algorithm=args.algorithm, **_algorithm_options(args))
+    stats_before, stats_after = report.original, report.statistics
+    print(f"{label}: ordering algorithm = {args.algorithm}")
+    print(f"  envelope size : {stats_before.envelope_size:,} -> {stats_after.envelope_size:,}")
+    print(f"  envelope work : {stats_before.envelope_work:,} -> {stats_after.envelope_work:,}")
+    print(f"  bandwidth     : {stats_before.bandwidth:,} -> {stats_after.bandwidth:,}")
+    print(f"  ordering time : {report.run_time:.3f} s")
+    if args.output_permutation:
+        np.savetxt(args.output_permutation, report.ordering.perm, fmt="%d")
+        print(f"  permutation written to {args.output_permutation}")
+    if args.output_matrix:
+        if matrix is None:
+            matrix = pattern.to_scipy("pattern")
+        _write_matrix(args.output_matrix, permute_symmetric(matrix, report.ordering.perm))
+        print(f"  reordered matrix written to {args.output_matrix}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    pattern, _matrix, label = _load_input(args.input)
+    algorithms = tuple(args.algorithms.split(",")) if args.algorithms else PAPER_ALGORITHMS
+    unknown = [a for a in algorithms if a not in ORDERING_ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithms: {unknown}; available: {sorted(ORDERING_ALGORITHMS)}",
+              file=sys.stderr)
+        return 2
+    result = run_comparison(pattern, algorithms=algorithms, problem=label)
+    print(format_table(result.rows, title=f"Ordering comparison — {label}"))
+    print(f"\nSmallest envelope: {result.winner.upper()}")
+    return 0
+
+
+def _cmd_spy(args) -> int:
+    pattern, _matrix, label = _load_input(args.input)
+    perm = None
+    if args.algorithm != "original":
+        perm = ORDERING_ALGORITHMS[args.algorithm](pattern).perm
+    profile = band_profile(pattern, perm)
+    print(f"{label} — {args.algorithm.upper()} ordering")
+    print(
+        f"envelope={profile['envelope_size']:,}  bandwidth={profile['bandwidth']:,}  "
+        f"mean row width={profile['mean_row_width']:.1f}"
+    )
+    print(ascii_spy(pattern, perm, resolution=args.resolution))
+    return 0
+
+
+def _cmd_fiedler(args) -> int:
+    pattern, _matrix, label = _load_input(args.input)
+    result = fiedler_vector(pattern, method=args.method, tol=args.tol)
+    print(f"{label}")
+    print(f"  method              : {result.method}")
+    print(f"  algebraic connectivity (lambda_2): {result.eigenvalue:.6e}")
+    print(f"  residual            : {result.residual_norm:.2e}")
+    print(f"  converged           : {result.converged}")
+    if args.output_vector:
+        np.savetxt(args.output_vector, result.eigenvector)
+        print(f"  eigenvector written to {args.output_vector}")
+    return 0
+
+
+def _cmd_problems(_args) -> int:
+    print("Registered surrogate problems (use as problem:NAME[@SCALE]):")
+    for table in ("4.1", "4.2", "4.3"):
+        names = ", ".join(available_problems(table))
+        print(f"  Table {table}: {names}")
+    return 0
+
+
+def _algorithm_options(args) -> dict:
+    options = {}
+    if getattr(args, "method", None) and args.algorithm in ("spectral", "hybrid"):
+        options["method"] = args.method
+    return options
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spectral envelope reduction of sparse matrices (Barnard, Pothen & Simon, SC'93)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reorder_parser = sub.add_parser("reorder", help="compute an envelope-reducing ordering")
+    reorder_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")
+    reorder_parser.add_argument(
+        "--algorithm", default="spectral", choices=sorted(ORDERING_ALGORITHMS)
+    )
+    reorder_parser.add_argument("--method", default=None, choices=FIEDLER_METHODS,
+                                help="eigensolver for the spectral/hybrid algorithms")
+    reorder_parser.add_argument("--output-permutation", default=None,
+                                help="write the new-to-old permutation to this file")
+    reorder_parser.add_argument("--output-matrix", default=None,
+                                help="write the reordered matrix (MatrixMarket or Harwell-Boeing)")
+    reorder_parser.set_defaults(func=_cmd_reorder)
+
+    compare_parser = sub.add_parser("compare", help="compare ordering algorithms (Table 4.x style)")
+    compare_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")
+    compare_parser.add_argument("--algorithms", default=None,
+                                help="comma-separated list (default: spectral,gk,gps,rcm)")
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    spy_parser = sub.add_parser("spy", help="ASCII structure plot under an ordering")
+    spy_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")
+    spy_parser.add_argument("--algorithm", default="original",
+                            choices=["original"] + sorted(ORDERING_ALGORITHMS))
+    spy_parser.add_argument("--resolution", type=int, default=48)
+    spy_parser.set_defaults(func=_cmd_spy)
+
+    fiedler_parser = sub.add_parser("fiedler", help="compute the Fiedler value/vector")
+    fiedler_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")
+    fiedler_parser.add_argument("--method", default="auto", choices=FIEDLER_METHODS)
+    fiedler_parser.add_argument("--tol", type=float, default=1e-8)
+    fiedler_parser.add_argument("--output-vector", default=None)
+    fiedler_parser.set_defaults(func=_cmd_fiedler)
+
+    problems_parser = sub.add_parser("problems", help="list the registered surrogate problems")
+    problems_parser.set_defaults(func=_cmd_problems)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

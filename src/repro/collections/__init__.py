@@ -1,0 +1,65 @@
+"""Problem collections: synthetic surrogates for the paper's test matrices.
+
+The paper evaluates on Boeing-Harwell matrices (structural analysis and
+miscellaneous sets) and on NASA structural/CFD matrices.  Those files are not
+redistributable with this repository, so this subpackage generates synthetic
+matrices from the same structural families:
+
+* regular 2-D and 3-D finite-element meshes, optionally with several degrees
+  of freedom per node (:mod:`repro.collections.meshes`) — surrogates for the
+  BCSSTK solid/shell models;
+* unstructured triangulations (airfoil-style), annuli, plates with holes,
+  cylindrical shells, power networks (:mod:`repro.collections.generators`) —
+  surrogates for BARTH4, DWT2680, BLKHOLE, the shell models and POW9;
+* a registry keyed by the paper's matrix names with configurable size scaling
+  (:mod:`repro.collections.registry`), used by every benchmark harness.
+
+Real Boeing-Harwell / Matrix Market files can be substituted at any time via
+:func:`repro.sparse.read_harwell_boeing` / :func:`repro.sparse.read_matrix_market`.
+"""
+
+from repro.collections.meshes import (
+    grid2d_pattern,
+    grid3d_pattern,
+    multi_dof_pattern,
+    path_pattern,
+    cycle_pattern,
+    star_pattern,
+    complete_pattern,
+    binary_tree_pattern,
+)
+from repro.collections.generators import (
+    airfoil_pattern,
+    annulus_pattern,
+    cylinder_shell_pattern,
+    plate_with_holes_pattern,
+    power_network_pattern,
+    random_geometric_pattern,
+)
+from repro.collections.registry import (
+    PAPER_PROBLEMS,
+    ProblemSpec,
+    available_problems,
+    load_problem,
+)
+
+__all__ = [
+    "grid2d_pattern",
+    "grid3d_pattern",
+    "multi_dof_pattern",
+    "path_pattern",
+    "cycle_pattern",
+    "star_pattern",
+    "complete_pattern",
+    "binary_tree_pattern",
+    "airfoil_pattern",
+    "annulus_pattern",
+    "cylinder_shell_pattern",
+    "plate_with_holes_pattern",
+    "power_network_pattern",
+    "random_geometric_pattern",
+    "PAPER_PROBLEMS",
+    "ProblemSpec",
+    "available_problems",
+    "load_problem",
+]

@@ -1,0 +1,175 @@
+"""Structured meshes and elementary graphs.
+
+These are the deterministic building blocks of the synthetic test collection:
+regular 2-D/3-D grids with selectable stencils (the classic finite-difference
+and finite-element discretizations), block expansion to several degrees of
+freedom per node (which reproduces the row densities of structural-analysis
+matrices), and the elementary graphs (paths, cycles, stars, complete graphs,
+binary trees) the unit and property tests reason about analytically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.pattern import SymmetricPattern
+from repro.utils.validation import require_positive_int
+
+__all__ = [
+    "grid2d_pattern",
+    "grid3d_pattern",
+    "multi_dof_pattern",
+    "path_pattern",
+    "cycle_pattern",
+    "star_pattern",
+    "complete_pattern",
+    "binary_tree_pattern",
+]
+
+
+def path_pattern(n: int) -> SymmetricPattern:
+    """Path graph ``P_n`` (tridiagonal matrix).
+
+    The minimum-envelope ordering of a path is the natural one with
+    ``Esize = n - 1`` and bandwidth 1 — used as an analytic oracle in tests.
+    """
+    n = require_positive_int(n, "n")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return SymmetricPattern.from_edges(n, edges)
+
+
+def cycle_pattern(n: int) -> SymmetricPattern:
+    """Cycle graph ``C_n`` (periodic tridiagonal matrix)."""
+    n = require_positive_int(n, "n", minimum=3)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return SymmetricPattern.from_edges(n, edges)
+
+
+def star_pattern(n: int) -> SymmetricPattern:
+    """Star graph ``S_n``: vertex 0 adjacent to all others (arrowhead matrix)."""
+    n = require_positive_int(n, "n", minimum=2)
+    edges = [(0, i) for i in range(1, n)]
+    return SymmetricPattern.from_edges(n, edges)
+
+
+def complete_pattern(n: int) -> SymmetricPattern:
+    """Complete graph ``K_n`` (dense matrix); every ordering has the same envelope."""
+    n = require_positive_int(n, "n", minimum=1)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return SymmetricPattern.from_edges(n, edges)
+
+
+def binary_tree_pattern(depth: int) -> SymmetricPattern:
+    """Complete binary tree of the given depth (``2^(depth+1) - 1`` vertices)."""
+    depth = require_positive_int(depth, "depth", minimum=0) if depth != 0 else 0
+    n = 2 ** (depth + 1) - 1
+    edges = []
+    for child in range(1, n):
+        parent = (child - 1) // 2
+        edges.append((parent, child))
+    return SymmetricPattern.from_edges(n, edges)
+
+
+def grid2d_pattern(nx: int, ny: int, stencil: int = 5) -> SymmetricPattern:
+    """Regular ``nx x ny`` grid.
+
+    Parameters
+    ----------
+    nx, ny:
+        Grid dimensions; vertex ``(i, j)`` has index ``i * ny + j``.
+    stencil:
+        ``5`` — 5-point stencil (bilinear FD Laplacian);
+        ``9`` — 9-point stencil (bilinear quadrilateral finite elements,
+        includes the diagonals of each cell).
+
+    The natural (row-by-row) ordering of the 5-point grid has bandwidth
+    ``ny`` and envelope size close to ``nx * ny * ny`` — the classic example
+    where ordering matters.
+    """
+    nx = require_positive_int(nx, "nx")
+    ny = require_positive_int(ny, "ny")
+    if stencil not in (5, 9):
+        raise ValueError(f"stencil must be 5 or 9, got {stencil}")
+    idx = lambda i, j: i * ny + j
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            if i + 1 < nx:
+                edges.append((idx(i, j), idx(i + 1, j)))
+            if j + 1 < ny:
+                edges.append((idx(i, j), idx(i, j + 1)))
+            if stencil == 9:
+                if i + 1 < nx and j + 1 < ny:
+                    edges.append((idx(i, j), idx(i + 1, j + 1)))
+                if i + 1 < nx and j - 1 >= 0:
+                    edges.append((idx(i, j), idx(i + 1, j - 1)))
+    return SymmetricPattern.from_edges(nx * ny, edges)
+
+
+def grid3d_pattern(nx: int, ny: int, nz: int, stencil: int = 7) -> SymmetricPattern:
+    """Regular ``nx x ny x nz`` brick grid.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Grid dimensions; vertex ``(i, j, k)`` has index ``(i*ny + j)*nz + k``.
+    stencil:
+        ``7`` — face neighbours only (FD Laplacian);
+        ``27`` — all neighbours of the surrounding cube (trilinear hexahedral
+        finite elements), which matches the row densities of 3-D structural
+        models.
+    """
+    nx = require_positive_int(nx, "nx")
+    ny = require_positive_int(ny, "ny")
+    nz = require_positive_int(nz, "nz")
+    if stencil not in (7, 27):
+        raise ValueError(f"stencil must be 7 or 27, got {stencil}")
+    idx = lambda i, j, k: (i * ny + j) * nz + k
+    if stencil == 7:
+        offsets = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    else:
+        offsets = [
+            (di, dj, dk)
+            for di in (-1, 0, 1)
+            for dj in (-1, 0, 1)
+            for dk in (-1, 0, 1)
+            if (di, dj, dk) > (0, 0, 0)
+        ]
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                for di, dj, dk in offsets:
+                    ii, jj, kk = i + di, j + dj, k + dk
+                    if 0 <= ii < nx and 0 <= jj < ny and 0 <= kk < nz:
+                        edges.append((idx(i, j, k), idx(ii, jj, kk)))
+    return SymmetricPattern.from_edges(nx * ny * nz, edges)
+
+
+def multi_dof_pattern(pattern: SymmetricPattern, dofs_per_node: int) -> SymmetricPattern:
+    """Expand every graph vertex into ``dofs_per_node`` fully coupled unknowns.
+
+    This is how structural-analysis matrices arise from meshes: each mesh node
+    carries several displacement/rotation degrees of freedom, and two nodes
+    connected by an element couple all their degrees of freedom.  Expanding a
+    mesh with ``d`` degrees of freedom per node multiplies the matrix order by
+    ``d`` and the typical row density by roughly ``d`` as well, which matches
+    the nonzeros-per-row of the BCSSTK matrices (20-35).
+    """
+    d = require_positive_int(dofs_per_node, "dofs_per_node")
+    if d == 1:
+        return pattern.copy()
+    n = pattern.n
+    edges = []
+    for i in range(n):
+        # Intra-node coupling between the d unknowns of node i.
+        for a in range(d):
+            for b in range(a + 1, d):
+                edges.append((i * d + a, i * d + b))
+        for j in pattern.neighbors(i):
+            if j < i:
+                continue
+            for a in range(d):
+                for b in range(d):
+                    edges.append((i * d + a, int(j) * d + b))
+    return SymmetricPattern.from_edges(n * d, edges)

@@ -1,0 +1,11 @@
+"""High-level pipeline: the public face of the library.
+
+:func:`repro.core.pipeline.reorder` is the one-call entry point — structure in,
+ordering plus envelope statistics out — and
+:func:`repro.core.pipeline.compare_orderings` reproduces a full paper-table row
+set for a single matrix.
+"""
+
+from repro.core.pipeline import EnvelopeReport, compare_orderings, reorder
+
+__all__ = ["reorder", "compare_orderings", "EnvelopeReport"]

@@ -1,0 +1,32 @@
+"""Eigen-solver substrate for the second Laplacian eigenvector (Fiedler vector).
+
+The spectral ordering (Algorithm 1 of the paper) needs an eigenvector for the
+smallest *positive* Laplacian eigenvalue.  This subpackage provides every
+solver discussed in the paper plus standard alternatives used as ablations:
+
+* :mod:`repro.eigen.lanczos` — Lanczos with full reorthogonalization and
+  deflation of the constant null vector (the paper's "standard algorithm");
+* :mod:`repro.eigen.rqi` — Rayleigh Quotient Iteration with MINRES inner
+  solves (the refinement step of the multilevel scheme);
+* :mod:`repro.eigen.multilevel` — the Barnard-Simon multilevel algorithm:
+  contraction, coarse solve, interpolation, RQI refinement (Section 3);
+* :mod:`repro.eigen.fiedler` — the :func:`fiedler_vector` front end with
+  method selection (``auto``, ``lanczos``, ``multilevel``, ``lobpcg``,
+  ``eigsh``, ``dense``).
+"""
+
+from repro.eigen.lanczos import LanczosResult, lanczos_smallest_nontrivial
+from repro.eigen.rqi import RQIResult, rayleigh_quotient_iteration
+from repro.eigen.multilevel import MultilevelResult, multilevel_fiedler
+from repro.eigen.fiedler import FiedlerResult, fiedler_vector
+
+__all__ = [
+    "LanczosResult",
+    "lanczos_smallest_nontrivial",
+    "RQIResult",
+    "rayleigh_quotient_iteration",
+    "MultilevelResult",
+    "multilevel_fiedler",
+    "FiedlerResult",
+    "fiedler_vector",
+]

@@ -1,0 +1,218 @@
+"""Relations and spectral bounds on envelope parameters (Theorems 2.1 and 2.2).
+
+Theorem 2.1 (George & Pothen) relates the minimum values of the envelope
+size, the envelope-work estimate, the 1-sum and the 2-sum:
+
+* ``Esize_min(A) <= sigma_{1,min}(A) <= Delta * Esize_min(A)``
+* ``Ework_min(A) <= sigma^2_{2,min}(A) <= Delta * Ework_min(A)``
+* ``sigma^2_{2,min}(A) <= sigma^2_{1,min}(A) <= |E| * sigma^2_{2,min}(A)``
+
+where ``Delta`` is the maximum number of off-diagonal nonzeros in a row.
+Because the minima are NP-hard to compute, the library exposes the theorem as
+a *relation checker on any single ordering* — for every ordering ``alpha`` the
+non-minimum analogues ``Esize(alpha) <= sigma_1(alpha) <= Delta*Esize(alpha)``
+and ``Ework(alpha) <= sigma_2^2(alpha) <= Delta*Ework(alpha)`` hold, and the
+property-based tests exercise exactly that.
+
+Theorem 2.2 bounds the *minimum* envelope size and work in terms of the
+second and largest Laplacian eigenvalues:
+
+* ``lambda_2/(6*Delta) * (n^2 - 1) <= Esize_min(A) <= lambda_n/6 * (n^2 - 1)``  (approximately; see note)
+* ``lambda_2/(12*Delta) * (n^2 - 1) <= Ework_min(A) <= lambda_n/12 * (n^2 - 1)``
+
+The OCR of the paper garbles the exact constants of the upper bounds; the
+lower bounds (the ones used to judge how close computed orderings are to
+optimal) follow from the quadratic-assignment analysis in the companion paper
+[George & Pothen 1993]: ``sigma_2^2 >= lambda_2 * n(n^2-1)/12 / n`` for
+permutation vectors centered to zero mean, which combined with Theorem 2.1
+gives the expressions implemented here.  The test suite verifies that the
+lower bounds never exceed the value achieved by any computed ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.envelope.metrics import envelope_size, envelope_work
+from repro.envelope.sums import one_sum, two_sum
+from repro.sparse.ops import structure_from_matrix
+
+__all__ = [
+    "two_sum_lower_bound",
+    "envelope_size_bounds",
+    "envelope_work_bounds",
+    "theorem_2_1_relations",
+    "Theorem21Relations",
+]
+
+
+def _lambda_extremes(pattern, lambda2=None, lambda_max=None):
+    """Second-smallest and largest Laplacian eigenvalues (computed if not given)."""
+    from repro.graph.laplacian import laplacian_matrix
+
+    pattern = structure_from_matrix(pattern)
+    if lambda2 is not None and lambda_max is not None:
+        return float(lambda2), float(lambda_max)
+    lap = laplacian_matrix(pattern)
+    n = pattern.n
+    if n <= 400:
+        values = np.linalg.eigvalsh(lap.toarray())
+        l2 = float(values[1]) if n > 1 else 0.0
+        lmax = float(values[-1])
+    else:
+        from repro.eigen.fiedler import fiedler_vector
+        import scipy.sparse.linalg as spla
+
+        l2 = (
+            float(lambda2)
+            if lambda2 is not None
+            else fiedler_vector(pattern, check_connected=False).eigenvalue
+        )
+        if lambda_max is not None:
+            lmax = float(lambda_max)
+        else:
+            lmax = float(
+                spla.eigsh(lap, k=1, which="LA", return_eigenvectors=False)[0]
+            )
+    return (float(lambda2) if lambda2 is not None else l2,
+            float(lambda_max) if lambda_max is not None else lmax)
+
+
+def two_sum_lower_bound(pattern, lambda2: float | None = None) -> float:
+    """Spectral lower bound on the minimum squared 2-sum.
+
+    For any ordering, center the position vector to zero mean:
+    ``q = positions - (n-1)/2``.  Then ``q^T u = 0`` and
+    ``q^T q = l = n(n^2-1)/12`` (for every ``n``; this coincides with the
+    paper's integer-valued set ``P`` when ``n`` is odd), hence
+
+    ``sigma_2^2(alpha) = q^T Q q >= lambda_2 * l``
+
+    for every ordering ``alpha``.  This is the bound the paper says "appears
+    to be reasonably tight".
+    """
+    pattern = structure_from_matrix(pattern)
+    n = pattern.n
+    if n < 2:
+        return 0.0
+    lambda2, _ = _lambda_extremes(pattern, lambda2=lambda2, lambda_max=0.0)
+    l = n * (n * n - 1) / 12.0
+    return float(lambda2 * l)
+
+
+def envelope_work_bounds(
+    pattern, lambda2: float | None = None, lambda_max: float | None = None
+) -> tuple[float, float]:
+    """Lower and upper bounds on ``Ework_min`` from Theorem 2.2.
+
+    With ``l = n(n^2-1)/12`` the squared norm of the zero-mean position
+    vector (see :func:`two_sum_lower_bound`):
+
+    ``lambda_2 * l / Delta <= Ework_min <= lambda_n * l``
+
+    The lower bound combines the 2-sum bound ``sigma_2^2 >= lambda_2 * l``
+    with Theorem 2.1 (``Ework >= sigma_2^2 / Delta``); the upper bound uses
+    ``Ework <= sigma_2^2 <= lambda_n * l`` for any ordering.
+    """
+    pattern = structure_from_matrix(pattern)
+    n = pattern.n
+    if n < 2:
+        return 0.0, 0.0
+    delta = max(1, pattern.max_degree())
+    lambda2, lambda_max = _lambda_extremes(pattern, lambda2, lambda_max)
+    l = n * (n * n - 1) / 12.0
+    lower = lambda2 * l / delta
+    upper = lambda_max * l
+    return float(lower), float(upper)
+
+
+def envelope_size_bounds(
+    pattern, lambda2: float | None = None, lambda_max: float | None = None
+) -> tuple[float, float]:
+    """Lower and upper bounds on ``Esize_min`` in the spirit of Theorem 2.2.
+
+    Derivation (valid for every ordering ``alpha``, hence for the optimum):
+
+    * position differences over edges are at least 1, so
+      ``sigma_1(alpha) >= sigma_2^2(alpha) / (n - 1) >= lambda_2 * l / (n - 1)``
+      with ``l = p^T p`` the centered-permutation norm of Section 2.3, and
+      Theorem 2.1 gives ``Esize >= sigma_1 / Delta``, hence the lower bound
+      ``lambda_2 * l / (Delta (n-1))``;
+    * position differences are at least 1 also gives
+      ``Esize(alpha) <= sigma_1(alpha) <= sigma_2^2(alpha) <= lambda_n * l``,
+      hence the upper bound ``lambda_n * l`` on the optimum.
+
+    These constants are slightly looser than the theorem's printed form but
+    are proved by the same quadratic-assignment argument; only their validity
+    (never their tightness) is relied upon elsewhere.
+    """
+    pattern = structure_from_matrix(pattern)
+    n = pattern.n
+    if n < 2:
+        return 0.0, 0.0
+    delta = max(1, pattern.max_degree())
+    lambda2, lambda_max = _lambda_extremes(pattern, lambda2, lambda_max)
+    l = n * (n * n - 1) / 12.0
+    lower = lambda2 * l / (delta * max(1, n - 1))
+    upper = lambda_max * l
+    return float(lower), float(upper)
+
+
+@dataclass(frozen=True)
+class Theorem21Relations:
+    """Evaluation of the Theorem 2.1 inequality chain for one ordering.
+
+    The attributes store the measured quantities and the booleans state
+    whether each inequality (in its per-ordering form) holds.
+    """
+
+    envelope_size: int
+    envelope_work: int
+    one_sum: int
+    two_sum: int
+    max_degree: int
+    esize_le_sigma1: bool
+    sigma1_le_delta_esize: bool
+    ework_le_sigma2sq: bool
+    sigma2sq_le_delta_ework: bool
+
+    @property
+    def all_hold(self) -> bool:
+        """Whether every inequality of the chain holds for this ordering."""
+        return (
+            self.esize_le_sigma1
+            and self.sigma1_le_delta_esize
+            and self.ework_le_sigma2sq
+            and self.sigma2sq_le_delta_ework
+        )
+
+
+def theorem_2_1_relations(pattern, perm=None) -> Theorem21Relations:
+    """Evaluate the Theorem 2.1 inequalities for a specific ordering.
+
+    For any single ordering the per-ordering analogues hold:
+    ``Esize <= sigma_1 <= Delta * Esize`` and
+    ``Ework <= sigma_2^2 <= Delta * Ework``
+    because every row contributes its maximum (respectively squared maximum)
+    to the envelope quantity and at most ``Delta`` terms each bounded by that
+    maximum to the sums.
+    """
+    pattern = structure_from_matrix(pattern)
+    esize = envelope_size(pattern, perm)
+    ework = envelope_work(pattern, perm)
+    s1 = one_sum(pattern, perm)
+    s2 = two_sum(pattern, perm)
+    delta = max(1, pattern.max_degree())
+    return Theorem21Relations(
+        envelope_size=esize,
+        envelope_work=ework,
+        one_sum=s1,
+        two_sum=s2,
+        max_degree=delta,
+        esize_le_sigma1=esize <= s1,
+        sigma1_le_delta_esize=s1 <= delta * esize,
+        ework_le_sigma2sq=ework <= s2,
+        sigma2sq_le_delta_ework=s2 <= delta * ework,
+    )

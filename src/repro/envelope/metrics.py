@@ -1,0 +1,196 @@
+"""Envelope parameters of a symmetric matrix (paper Section 2.1 and 2.4).
+
+For an ``n x n`` symmetric matrix ``A`` with nonzero diagonal and for row
+``i`` (0-based internally, 1-based in the paper):
+
+* ``f_i`` — column index of the first nonzero in row ``i``;
+* ``r_i = i - f_i`` — the *row width*;
+* ``bw(A) = max_i r_i`` — the bandwidth;
+* ``Esize(A) = sum_i r_i`` — the envelope size, equivalently the number of
+  (strictly sub-diagonal) positions between the first nonzero and the
+  diagonal of every row;
+* ``Ework(A) = sum_i r_i^2`` — the paper's upper-bound estimate of the work in
+  an envelope Cholesky factorization;
+* ``|adj(V_j)|`` — the ``j``-th *frontwidth* (wavefront), where ``V_j`` is the
+  set of the first ``j`` vertices in the ordering; ``Esize = sum_j |adj(V_j)|``
+  (Section 2.4).
+
+All quantities are computed for the matrix *as reordered by* an optional
+permutation, without ever forming the permuted matrix explicitly: the metrics
+only depend on the positions assigned to the vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.sparse.ops import structure_from_matrix
+from repro.sparse.pattern import SymmetricPattern
+from repro.utils.validation import check_permutation
+
+__all__ = [
+    "EnvelopeStatistics",
+    "first_nonzero_columns",
+    "row_widths",
+    "bandwidth",
+    "envelope_size",
+    "envelope_work",
+    "frontwidths",
+    "envelope_statistics",
+]
+
+
+def _positions_from_perm(n: int, perm) -> np.ndarray:
+    """Return ``position[old_vertex] = new_index`` for a new-to-old permutation.
+
+    ``perm=None`` means the identity (natural) ordering.
+    """
+    if perm is None:
+        return np.arange(n, dtype=np.intp)
+    perm = check_permutation(perm, n)
+    positions = np.empty(n, dtype=np.intp)
+    positions[perm] = np.arange(n, dtype=np.intp)
+    return positions
+
+
+def _min_neighbor_positions(pattern: SymmetricPattern, positions: np.ndarray) -> np.ndarray:
+    """For every vertex, the smallest position among itself and its neighbours.
+
+    In the reordered matrix, row ``p = positions[v]`` has its first nonzero in
+    column ``min(p, min_{w in adj(v)} positions[w])`` (the diagonal is
+    structurally nonzero).  Vectorized with ``np.minimum.reduceat``.
+    """
+    n = pattern.n
+    counts = np.diff(pattern.indptr)
+    own = positions.copy()
+    if pattern.indices.size == 0:
+        return own
+    neighbor_positions = positions[pattern.indices]
+    has_neighbors = counts > 0
+    starts = pattern.indptr[:-1][has_neighbors]
+    mins = np.minimum.reduceat(neighbor_positions, starts)
+    result = own
+    result[has_neighbors] = np.minimum(own[has_neighbors], mins)
+    return result
+
+
+def first_nonzero_columns(pattern, perm=None) -> np.ndarray:
+    """Column index of the first nonzero of every row of the (re)ordered matrix.
+
+    Returned in *new* row order: entry ``p`` is ``f_p`` of the permuted matrix
+    (0-based).  With a nonzero diagonal, ``f_p <= p`` always holds.
+    """
+    pattern = structure_from_matrix(pattern)
+    positions = _positions_from_perm(pattern.n, perm)
+    firsts_old = _min_neighbor_positions(pattern, positions)
+    firsts_new = np.empty(pattern.n, dtype=np.intp)
+    firsts_new[positions] = np.minimum(firsts_old, positions)
+    return firsts_new
+
+
+def row_widths(pattern, perm=None) -> np.ndarray:
+    """Row widths ``r_p = p - f_p`` of the (re)ordered matrix, in new row order."""
+    pattern = structure_from_matrix(pattern)
+    firsts = first_nonzero_columns(pattern, perm)
+    return np.arange(pattern.n, dtype=np.intp) - firsts
+
+
+def bandwidth(pattern, perm=None) -> int:
+    """Bandwidth ``max_i r_i`` of the (re)ordered matrix (0 for a diagonal matrix)."""
+    widths = row_widths(pattern, perm)
+    return int(widths.max(initial=0))
+
+
+def envelope_size(pattern, perm=None) -> int:
+    """Envelope size ``Esize = sum_i r_i`` of the (re)ordered matrix."""
+    widths = row_widths(pattern, perm)
+    return int(widths.sum())
+
+
+def envelope_work(pattern, perm=None) -> int:
+    """Envelope-work estimate ``Ework = sum_i r_i^2`` (paper Section 2.1)."""
+    widths = row_widths(pattern, perm).astype(np.int64)
+    return int(np.dot(widths, widths))
+
+
+def frontwidths(pattern, perm=None) -> np.ndarray:
+    """The frontwidth (wavefront) sequence ``|adj(V_j)|`` for ``j = 1..n``.
+
+    ``V_j`` is the set of the first ``j`` vertices of the ordering and
+    ``adj(V_j)`` the set of vertices outside ``V_j`` adjacent to it.  The
+    identity ``Esize = sum_j |adj(V_j)|`` (Section 2.4) is verified by the
+    test suite.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of length ``n``; entry ``j-1`` is ``|adj(V_j)|``.
+    """
+    pattern = structure_from_matrix(pattern)
+    n = pattern.n
+    positions = _positions_from_perm(n, perm)
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    min_nbr = _min_neighbor_positions(pattern, positions.copy())
+    # Vertex v (position p_v) belongs to adj(V_j) exactly for
+    # j in [min_nbr(v) + 1, p_v]  (1-based j), provided min_nbr(v) < p_v.
+    # Accumulate the count with a difference array.
+    diff = np.zeros(n + 2, dtype=np.int64)
+    p = positions
+    lo = min_nbr + 1
+    active = lo <= p  # vertices that are ever in a front
+    np.add.at(diff, lo[active], 1)
+    np.add.at(diff, p[active] + 1, -1)
+    counts = np.cumsum(diff)[1 : n + 1]
+    return counts.astype(np.intp)
+
+
+@dataclass(frozen=True)
+class EnvelopeStatistics:
+    """Bundle of every envelope parameter of a (re)ordered matrix.
+
+    Attributes mirror the columns of the paper's result tables plus the
+    quantities used by the theory section.
+    """
+
+    n: int
+    nnz: int
+    bandwidth: int
+    envelope_size: int
+    envelope_work: int
+    one_sum: int
+    two_sum: int
+    max_frontwidth: int
+    mean_frontwidth: float
+    rms_frontwidth: float
+
+    def as_dict(self) -> dict:
+        """Plain-``dict`` view (useful for tabulation and JSON output)."""
+        return asdict(self)
+
+
+def envelope_statistics(pattern, perm=None) -> EnvelopeStatistics:
+    """Compute every envelope parameter of the (re)ordered matrix in one pass."""
+    from repro.envelope.sums import one_sum as _one_sum, two_sum as _two_sum
+
+    pattern = structure_from_matrix(pattern)
+    widths = row_widths(pattern, perm).astype(np.int64)
+    fronts = frontwidths(pattern, perm).astype(np.float64)
+    n = pattern.n
+    max_front = int(fronts.max(initial=0))
+    mean_front = float(fronts.mean()) if n else 0.0
+    rms_front = float(np.sqrt(np.mean(fronts**2))) if n else 0.0
+    return EnvelopeStatistics(
+        n=n,
+        nnz=pattern.nnz,
+        bandwidth=int(widths.max(initial=0)),
+        envelope_size=int(widths.sum()),
+        envelope_work=int(np.dot(widths, widths)),
+        one_sum=_one_sum(pattern, perm),
+        two_sum=_two_sum(pattern, perm),
+        max_frontwidth=max_front,
+        mean_frontwidth=mean_front,
+        rms_frontwidth=rms_front,
+    )

@@ -1,0 +1,192 @@
+"""Permutation vectors, closest-permutation construction, adjacency orderings.
+
+This module implements the objects of Sections 2.3 and 2.4 of the paper:
+
+* the set ``P`` of *centered permutation vectors* — vectors whose components
+  are a permutation of ``{-(n-1)/2, ..., -1, 0, 1, ..., (n-1)/2}`` for odd
+  ``n`` and of ``{-n/2, ..., -1, +1, ..., n/2}`` for even ``n``
+  (:func:`centered_permutation_values`, :func:`permutation_vector_from_ordering`);
+* the *closest permutation vector* to a given real vector ``x``
+  (Theorem 2.3): assign the sorted centered values to the components of ``x``
+  in sorted order (:func:`closest_permutation_vector`);
+* *adjacency orderings* (Section 2.4): an ordering ``v_1, ..., v_n`` such that
+  every ``v_{j+1}`` is adjacent to the set of already-numbered vertices
+  (:func:`is_adjacency_ordering`), plus the partial adjacency property that
+  Theorem 2.5 guarantees for spectral orderings
+  (:func:`spectral_adjacency_violations`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.ops import structure_from_matrix
+from repro.utils.validation import check_permutation
+
+__all__ = [
+    "centered_permutation_values",
+    "permutation_vector_from_ordering",
+    "closest_permutation_vector",
+    "is_adjacency_ordering",
+    "adjacency_ordering_violations",
+    "spectral_adjacency_violations",
+]
+
+
+def centered_permutation_values(n: int) -> np.ndarray:
+    """The sorted component multiset of the centered permutation vectors ``P``.
+
+    Odd ``n``: ``-(n-1)/2, ..., -1, 0, 1, ..., (n-1)/2``.
+    Even ``n``: ``-n/2, ..., -1, +1, ..., n/2`` (zero excluded).
+
+    Every vector in ``P`` satisfies ``p^T u = 0`` and
+    ``p^T p = n(n^2-1)/12`` (odd) or ``n(n+1)(n+2)/12`` (even).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n % 2 == 1:
+        half = (n - 1) // 2
+        return np.arange(-half, half + 1, dtype=np.float64)
+    half = n // 2
+    negatives = np.arange(-half, 0, dtype=np.float64)
+    positives = np.arange(1, half + 1, dtype=np.float64)
+    return np.concatenate([negatives, positives])
+
+
+def permutation_vector_from_ordering(perm) -> np.ndarray:
+    """Centered permutation vector corresponding to an ordering.
+
+    ``perm`` is new-to-old (``perm[k]`` = old index of the vertex placed at
+    position ``k``).  The returned vector ``p`` has ``p[old_vertex]`` equal to
+    the centered value of its position.  For odd ``n`` the centered values are
+    consecutive integers, so ``p^T Q p`` equals the positional 2-sum
+    ``sigma_2^2(perm)`` exactly; for even ``n`` the paper's value set skips 0,
+    so edges straddling the middle contribute one extra unit of difference and
+    ``p^T Q p >= sigma_2^2(perm)``.
+    """
+    perm = check_permutation(perm)
+    n = perm.size
+    values = centered_permutation_values(n)
+    p = np.empty(n, dtype=np.float64)
+    p[perm] = values
+    return p
+
+
+def closest_permutation_vector(x) -> np.ndarray:
+    """The centered permutation vector closest (2-norm) to ``x`` (Theorem 2.3).
+
+    The closest vector assigns the ``k``-th smallest centered value to the
+    component holding the ``k``-th smallest entry of ``x`` — i.e. it is the
+    permutation vector *induced by* ``x``.  Ties in ``x`` are broken by index
+    (stable sort), which is one of the minimizers.
+
+    Returns
+    -------
+    numpy.ndarray
+        A vector ``p`` with ``p[i]`` the centered value assigned to component
+        ``i``; ``argsort(p)`` equals ``argsort(x)`` up to ties.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"x must be one-dimensional, got shape {x.shape}")
+    n = x.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    order = np.argsort(x, kind="stable")
+    values = centered_permutation_values(n)
+    p = np.empty(n, dtype=np.float64)
+    p[order] = values
+    return p
+
+
+def adjacency_ordering_violations(pattern, perm=None) -> np.ndarray:
+    """Positions ``j`` (1-based) where ``v_{j+1}`` is NOT adjacent to ``V_j``.
+
+    An ordering is an *adjacency ordering* (Section 2.4) when the returned
+    array is empty.  Vertices starting a new connected component are counted
+    as violations except for position 0 (which can never satisfy the
+    property and is excluded by definition).
+    """
+    pattern = structure_from_matrix(pattern)
+    n = pattern.n
+    if perm is None:
+        perm = np.arange(n, dtype=np.intp)
+    else:
+        perm = check_permutation(perm, n)
+    positions = np.empty(n, dtype=np.intp)
+    positions[perm] = np.arange(n, dtype=np.intp)
+    violations = []
+    for j in range(1, n):
+        v = perm[j]
+        nbrs = pattern.neighbors(int(v))
+        if nbrs.size == 0 or positions[nbrs].min() >= j:
+            violations.append(j)
+    return np.asarray(violations, dtype=np.intp)
+
+
+def is_adjacency_ordering(pattern, perm=None) -> bool:
+    """Whether the ordering is an adjacency ordering (Section 2.4)."""
+    return adjacency_ordering_violations(pattern, perm).size == 0
+
+
+def spectral_adjacency_violations(pattern, fiedler: np.ndarray, perm) -> dict:
+    """Check the partial adjacency property of Theorem 2.5 for a spectral ordering.
+
+    Theorem 2.5 implies that when vertices with positive Fiedler entries are
+    appended (in increasing order of their entries) after all the zero and
+    negative ones, each appended vertex is adjacent to the already-numbered
+    set — and symmetrically for the negative side appended in decreasing
+    order.  This function counts violations of that one-sided property in the
+    given ordering; for an exact eigenvector of a connected graph the counts
+    are zero on the side whose entries are strictly one-signed beyond the zero
+    block (up to numerical tie handling).
+
+    Returns
+    -------
+    dict
+        ``{"positive_side": k+, "negative_side": k-, "total_checked": m}``.
+    """
+    pattern = structure_from_matrix(pattern)
+    n = pattern.n
+    fiedler = np.asarray(fiedler, dtype=np.float64)
+    perm = check_permutation(perm, n)
+    positions = np.empty(n, dtype=np.intp)
+    positions[perm] = np.arange(n, dtype=np.intp)
+
+    tol = 1e-12 * max(1.0, float(np.abs(fiedler).max(initial=0.0)))
+    signs = np.zeros(n, dtype=np.intp)
+    signs[fiedler > tol] = 1
+    signs[fiedler < -tol] = -1
+
+    def _count_side(side: int) -> tuple[int, int]:
+        violations = 0
+        checked = 0
+        # Vertices of this sign, scanned in the order they appear in `perm`.
+        for j in range(n):
+            v = int(perm[j])
+            if signs[v] != side:
+                continue
+            checked += 1
+            nbrs = pattern.neighbors(v)
+            if nbrs.size == 0:
+                violations += 1
+                continue
+            if side > 0:
+                # Everything numbered before v must include a neighbour,
+                # unless v is the very first positive vertex adjacent to N∪Z.
+                earlier = positions[nbrs] < j
+            else:
+                earlier = positions[nbrs] > j
+            if not earlier.any():
+                violations += 1
+        # The first vertex on each side has nothing before (after) it to be
+        # adjacent to only when the other side is empty; do not count it.
+        return max(0, violations - 1), checked
+
+    pos_violations, pos_checked = _count_side(1)
+    neg_violations, neg_checked = _count_side(-1)
+    return {
+        "positive_side": pos_violations,
+        "negative_side": neg_violations,
+        "total_checked": pos_checked + neg_checked,
+    }

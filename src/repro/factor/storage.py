@@ -1,0 +1,147 @@
+"""Row-oriented envelope (skyline / variable-band) storage.
+
+The envelope of a symmetric matrix (Section 2.1) is, for every row ``i``, the
+set of column positions from the first structural nonzero ``f_i`` up to the
+diagonal.  The storage scheme keeps exactly those positions — including any
+explicit zeros inside the envelope, because Cholesky fill is confined to the
+envelope — in one flat array with a per-row offset table.
+
+This is the storage layout SPARSPAK's envelope solver uses; the factorization
+in :mod:`repro.factor.cholesky` operates on it in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.envelope.metrics import first_nonzero_columns
+from repro.sparse.ops import structure_from_matrix
+from repro.utils.validation import check_permutation, check_square
+
+__all__ = ["EnvelopeStorage"]
+
+
+class EnvelopeStorage:
+    """Envelope (skyline) storage of a symmetric matrix.
+
+    Attributes
+    ----------
+    n:
+        Matrix order.
+    first:
+        ``first[i]`` is the column of the first stored entry of row ``i``
+        (``f_i``); entries ``first[i] .. i`` of row ``i`` are stored.
+    row_start:
+        ``row_start[i]`` is the offset of row ``i``'s segment in :attr:`values`;
+        the segment has length ``i - first[i] + 1`` and ends with the diagonal.
+    values:
+        The flat value array of length ``envelope_size + n``.
+    """
+
+    __slots__ = ("n", "first", "row_start", "values")
+
+    def __init__(self, n: int, first: np.ndarray, row_start: np.ndarray, values: np.ndarray):
+        self.n = int(n)
+        self.first = np.asarray(first, dtype=np.intp)
+        self.row_start = np.asarray(row_start, dtype=np.intp)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.first.shape != (self.n,):
+            raise ValueError(f"first must have shape ({self.n},)")
+        if self.row_start.shape != (self.n + 1,):
+            raise ValueError(f"row_start must have shape ({self.n + 1},)")
+        expected = int(self.row_start[-1])
+        if self.values.shape != (expected,):
+            raise ValueError(f"values must have length {expected}, got {self.values.shape}")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_matrix(cls, matrix, perm=None) -> "EnvelopeStorage":
+        """Build envelope storage for ``P^T A P``.
+
+        Parameters
+        ----------
+        matrix:
+            Symmetric SciPy sparse matrix or dense array with nonzero
+            diagonal.  Values are stored; the structure determines the
+            envelope.
+        perm:
+            Optional new-to-old permutation; the storage is built for the
+            permuted matrix without forming it explicitly beforehand.
+        """
+        matrix, n = check_square(matrix, "matrix")
+        a = sp.csr_matrix(matrix, dtype=np.float64)
+        if perm is not None:
+            perm = check_permutation(perm, n)
+            a = a[perm][:, perm].tocsr()
+        pattern = structure_from_matrix(a)
+        first = first_nonzero_columns(pattern)  # natural order of the permuted matrix
+        lengths = np.arange(n, dtype=np.intp) - first + 1
+        row_start = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(lengths, out=row_start[1:])
+        values = np.zeros(int(row_start[-1]), dtype=np.float64)
+
+        a = a.tocoo()
+        rows, cols, vals = a.row, a.col, a.data
+        lower = rows >= cols
+        rows, cols, vals = rows[lower], cols[lower], vals[lower]
+        offsets = row_start[rows] + (cols - first[rows])
+        if np.any(cols < first[rows]):  # pragma: no cover - defensive
+            raise AssertionError("entry outside the computed envelope")
+        values[offsets] = vals
+        return cls(n, first, row_start, values)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def envelope_size(self) -> int:
+        """Number of stored strictly-sub-diagonal positions (``Esize``)."""
+        return int(self.values.size - self.n)
+
+    @property
+    def storage_size(self) -> int:
+        """Total stored doubles (envelope plus diagonal)."""
+        return int(self.values.size)
+
+    def row(self, i: int) -> np.ndarray:
+        """The stored segment of row *i* (columns ``first[i] .. i``), as a view."""
+        return self.values[self.row_start[i] : self.row_start[i + 1]]
+
+    def diagonal(self) -> np.ndarray:
+        """The diagonal entries (copy)."""
+        return self.values[self.row_start[1:] - 1].copy()
+
+    def get(self, i: int, j: int) -> float:
+        """Entry ``(i, j)`` honouring symmetry; zero outside the envelope."""
+        if i < 0 or j < 0 or i >= self.n or j >= self.n:
+            raise IndexError(f"index ({i}, {j}) out of range for n={self.n}")
+        if j > i:
+            i, j = j, i
+        if j < self.first[i]:
+            return 0.0
+        return float(self.values[self.row_start[i] + (j - self.first[i])])
+
+    def to_dense(self, symmetric: bool = True) -> np.ndarray:
+        """Expand to a dense array (lower triangle, mirrored if *symmetric*)."""
+        dense = np.zeros((self.n, self.n))
+        for i in range(self.n):
+            f = self.first[i]
+            dense[i, f : i + 1] = self.row(i)
+        if symmetric:
+            dense = dense + np.tril(dense, -1).T
+        return dense
+
+    def copy(self) -> "EnvelopeStorage":
+        """Deep copy (used so factorizations do not clobber the input)."""
+        return EnvelopeStorage(
+            self.n, self.first.copy(), self.row_start.copy(), self.values.copy()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EnvelopeStorage(n={self.n}, envelope_size={self.envelope_size}, "
+            f"storage={self.storage_size})"
+        )

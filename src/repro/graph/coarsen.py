@@ -1,0 +1,217 @@
+"""Multilevel graph contraction (Section 3 of the paper).
+
+The multilevel Fiedler-vector algorithm of Barnard & Simon needs three graph
+operations:
+
+* **Contraction** — "first finding a maximal independent set of vertices,
+  which are to be the vertices of the contracted graph.  The edges of the
+  contracted graph are determined by growing domains from the selected
+  vertices in a breadth-first manner, adding an edge to the contracted graph
+  when two domains intersect."  (Section 3.)
+* **Interpolation** — carrying an eigenvector of the contracted graph back to
+  the fine graph: each fine vertex takes the value of the coarse vertex whose
+  domain it belongs to (piecewise-constant prolongation).
+* A **hierarchy** of contractions down to a small coarsest graph
+  ("typically 100" vertices in the paper).
+
+This module provides those three pieces; the eigen-solver that consumes them
+lives in :mod:`repro.eigen.multilevel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.pattern import SymmetricPattern
+from repro.utils.rng import default_rng
+
+__all__ = [
+    "maximal_independent_set",
+    "coarsen_graph",
+    "coarsening_hierarchy",
+    "interpolate_vector",
+    "CoarseLevel",
+]
+
+
+def maximal_independent_set(
+    pattern: SymmetricPattern,
+    rng=None,
+    strategy: str = "degree",
+) -> np.ndarray:
+    """Greedy maximal independent set of the graph.
+
+    Parameters
+    ----------
+    pattern:
+        Adjacency structure.
+    rng:
+        Random generator (or seed) used when *strategy* is ``"random"``.
+    strategy:
+        Vertex scan order: ``"degree"`` (nondecreasing degree — produces a
+        large independent set, the default), ``"natural"`` (index order), or
+        ``"random"`` (uniformly random order).
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted vertex indices of a maximal independent set.  Maximality means
+        every vertex outside the set has a neighbour inside it.
+    """
+    n = pattern.n
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if strategy == "degree":
+        order = np.argsort(pattern.degree(), kind="stable")
+    elif strategy == "natural":
+        order = np.arange(n, dtype=np.intp)
+    elif strategy == "random":
+        order = default_rng(rng).permutation(n).astype(np.intp)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    selected = np.zeros(n, dtype=bool)
+    blocked = np.zeros(n, dtype=bool)
+    indptr, indices = pattern.indptr, pattern.indices
+    for v in order:
+        if blocked[v]:
+            continue
+        selected[v] = True
+        blocked[v] = True
+        blocked[indices[indptr[v] : indptr[v + 1]]] = True
+    return np.flatnonzero(selected).astype(np.intp)
+
+
+@dataclass(frozen=True)
+class CoarseLevel:
+    """One level of the contraction hierarchy.
+
+    Attributes
+    ----------
+    fine_n:
+        Number of vertices in the fine graph.
+    coarse_pattern:
+        Adjacency structure of the contracted graph.
+    coarse_vertices:
+        Fine-graph indices of the independent-set vertices, i.e.
+        ``coarse_vertices[c]`` is the fine vertex that became coarse vertex ``c``.
+    domain_of:
+        For every fine vertex, the coarse vertex (index into the coarse graph)
+        whose domain it was absorbed into.
+    """
+
+    fine_n: int
+    coarse_pattern: SymmetricPattern
+    coarse_vertices: np.ndarray
+    domain_of: np.ndarray
+
+
+def coarsen_graph(
+    pattern: SymmetricPattern,
+    rng=None,
+    strategy: str = "degree",
+) -> CoarseLevel:
+    """Contract the graph by one level (maximal independent set + domain growing).
+
+    Domains are grown from the independent-set vertices breadth-first and
+    simultaneously (one BFS ring per sweep), so each fine vertex joins the
+    domain of the *nearest* selected vertex (ties broken by whichever domain
+    reaches it first in the sweep).  An edge connects two coarse vertices when
+    their domains touch — i.e. some fine edge joins the two domains.
+
+    Isolated fine vertices become their own coarse vertices (they are always
+    in the independent set), so the coarse graph never loses components.
+    """
+    n = pattern.n
+    mis = maximal_independent_set(pattern, rng=rng, strategy=strategy)
+    n_coarse = mis.size
+    domain_of = np.full(n, -1, dtype=np.intp)
+    domain_of[mis] = np.arange(n_coarse, dtype=np.intp)
+
+    indptr, indices = pattern.indptr, pattern.indices
+    # Grow domains ring by ring (simultaneous BFS from all selected vertices).
+    frontier = mis.copy()
+    while frontier.size:
+        next_frontier: list[int] = []
+        for v in frontier:
+            dom = domain_of[v]
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            fresh = nbrs[domain_of[nbrs] < 0]
+            if fresh.size:
+                domain_of[fresh] = dom
+                next_frontier.extend(int(w) for w in fresh)
+        frontier = np.asarray(next_frontier, dtype=np.intp)
+
+    # Any vertex still unassigned lies in a component with no selected vertex,
+    # which cannot happen for a *maximal* independent set; assert the invariant.
+    if np.any(domain_of < 0):  # pragma: no cover - defensive
+        raise AssertionError("domain growing left unassigned vertices")
+
+    # Coarse edges: for every fine edge (u, v) with different domains, connect them.
+    rows = np.repeat(np.arange(n), np.diff(indptr))
+    cu, cv = domain_of[rows], domain_of[indices]
+    mask = cu != cv
+    coarse_pattern = SymmetricPattern.from_edges(
+        n_coarse, zip(cu[mask].tolist(), cv[mask].tolist()), symmetrize=True
+    )
+    return CoarseLevel(
+        fine_n=n,
+        coarse_pattern=coarse_pattern,
+        coarse_vertices=mis,
+        domain_of=domain_of,
+    )
+
+
+def coarsening_hierarchy(
+    pattern: SymmetricPattern,
+    coarsest_size: int = 100,
+    max_levels: int = 50,
+    rng=None,
+    strategy: str = "degree",
+) -> list[CoarseLevel]:
+    """Build the full contraction hierarchy down to ``coarsest_size`` vertices.
+
+    Contraction stops when the graph has at most *coarsest_size* vertices
+    ("typically 100" in the paper), when *max_levels* levels have been built,
+    or when a contraction fails to shrink the graph (possible on pathological
+    graphs such as stars, where the independent set is almost the whole
+    vertex set).
+
+    Returns
+    -------
+    list of CoarseLevel
+        ``levels[0]`` contracts the input graph; ``levels[-1].coarse_pattern``
+        is the coarsest graph.  The list is empty when the input is already
+        small enough.
+    """
+    rng = default_rng(rng)
+    levels: list[CoarseLevel] = []
+    current = pattern
+    for _ in range(max_levels):
+        if current.n <= coarsest_size:
+            break
+        level = coarsen_graph(current, rng=rng, strategy=strategy)
+        if level.coarse_pattern.n >= current.n:
+            break  # no progress; stop rather than loop forever
+        levels.append(level)
+        current = level.coarse_pattern
+    return levels
+
+
+def interpolate_vector(level: CoarseLevel, coarse_vector: np.ndarray) -> np.ndarray:
+    """Prolong a coarse-graph vector to the fine graph of *level*.
+
+    Each fine vertex receives the value of the coarse vertex whose domain it
+    belongs to (piecewise-constant interpolation).  This "provides a good
+    approximation to an eigenvector of the larger graph" (Section 3) which the
+    Rayleigh Quotient Iteration then refines.
+    """
+    coarse_vector = np.asarray(coarse_vector, dtype=np.float64)
+    if coarse_vector.shape != (level.coarse_pattern.n,):
+        raise ValueError(
+            f"coarse_vector must have shape ({level.coarse_pattern.n},), "
+            f"got {coarse_vector.shape}"
+        )
+    return coarse_vector[level.domain_of]

@@ -1,0 +1,83 @@
+"""Connected components of the adjacency graph.
+
+The paper assumes the matrix is irreducible (its adjacency graph connected);
+the library handles general matrices by ordering each component separately
+(see :func:`repro.orderings.base.concatenate_component_orderings`), so the
+component machinery lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.pattern import SymmetricPattern
+
+__all__ = ["connected_components", "is_connected", "largest_component", "component_subpatterns"]
+
+
+def connected_components(pattern: SymmetricPattern) -> tuple[int, np.ndarray]:
+    """Label the connected components of the graph.
+
+    Returns
+    -------
+    (num_components, labels):
+        *labels* is an array of length ``n`` assigning each vertex a component
+        id in ``0 .. num_components-1``; components are numbered in order of
+        their smallest vertex.
+    """
+    n = pattern.n
+    labels = np.full(n, -1, dtype=np.intp)
+    indptr, indices = pattern.indptr, pattern.indices
+    current = 0
+    stack = np.empty(n, dtype=np.intp)
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        labels[start] = current
+        stack[0] = start
+        top = 1
+        while top:
+            top -= 1
+            v = stack[top]
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            fresh = nbrs[labels[nbrs] < 0]
+            if fresh.size:
+                labels[fresh] = current
+                stack[top : top + fresh.size] = fresh
+                top += fresh.size
+        current += 1
+    return current, labels
+
+
+def is_connected(pattern: SymmetricPattern) -> bool:
+    """Whether the adjacency graph is connected (matrix is irreducible)."""
+    if pattern.n <= 1:
+        return True
+    count, _ = connected_components(pattern)
+    return count == 1
+
+
+def largest_component(pattern: SymmetricPattern) -> np.ndarray:
+    """Vertices of the largest connected component (ascending order)."""
+    count, labels = connected_components(pattern)
+    if count == 1:
+        return np.arange(pattern.n, dtype=np.intp)
+    sizes = np.bincount(labels, minlength=count)
+    return np.flatnonzero(labels == int(np.argmax(sizes))).astype(np.intp)
+
+
+def component_subpatterns(pattern: SymmetricPattern):
+    """Split the pattern into per-component sub-patterns.
+
+    Returns
+    -------
+    list of (vertices, subpattern):
+        For each component, the original vertex indices (ascending) and the
+        induced :class:`SymmetricPattern` on them.
+    """
+    count, labels = connected_components(pattern)
+    result = []
+    for c in range(count):
+        vertices = np.flatnonzero(labels == c).astype(np.intp)
+        result.append((vertices, pattern.subpattern(vertices)))
+    return result

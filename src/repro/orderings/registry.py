@@ -1,0 +1,61 @@
+"""Name-based registry of the ordering algorithms.
+
+The benchmark harnesses, the comparison pipeline and the examples all refer
+to algorithms by the short names used in the paper's tables (``SPECTRAL``,
+``GK``, ``GPS``, ``RCM``) plus the extensions added by this library.  The
+registry maps those names to callables of a single ``pattern`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.orderings.base import Ordering, identity_ordering, random_ordering
+from repro.orderings.cuthill_mckee import cuthill_mckee_ordering, rcm_ordering
+from repro.orderings.gibbs_king import gibbs_king_ordering
+from repro.orderings.gps import gps_ordering
+from repro.orderings.hybrid import hybrid_spectral_ordering
+from repro.orderings.king import king_ordering, reverse_king_ordering
+from repro.orderings.sloan import sloan_ordering
+from repro.orderings.spectral import spectral_ordering
+
+__all__ = ["ORDERING_ALGORITHMS", "get_ordering_algorithm", "PAPER_ALGORITHMS"]
+
+#: Algorithms evaluated in the paper's tables, in the row order used there.
+PAPER_ALGORITHMS = ("spectral", "gk", "gps", "rcm")
+
+#: All registered algorithms: name -> callable(pattern) -> Ordering.
+ORDERING_ALGORITHMS: Mapping[str, Callable[..., Ordering]] = {
+    "spectral": spectral_ordering,
+    "gk": gibbs_king_ordering,
+    "gps": gps_ordering,
+    "rcm": rcm_ordering,
+    "cm": cuthill_mckee_ordering,
+    "king": king_ordering,
+    "reverse-king": reverse_king_ordering,
+    "sloan": sloan_ordering,
+    "hybrid": hybrid_spectral_ordering,
+    "identity": lambda pattern: identity_ordering(
+        pattern.n if hasattr(pattern, "n") else pattern.shape[0]
+    ),
+    "random": lambda pattern, rng=None: random_ordering(
+        pattern.n if hasattr(pattern, "n") else pattern.shape[0], rng=rng
+    ),
+}
+
+
+def get_ordering_algorithm(name: str) -> Callable[..., Ordering]:
+    """Look up an ordering algorithm by (case-insensitive) name.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, when *name* is unknown.
+    """
+    key = name.strip().lower()
+    if key not in ORDERING_ALGORITHMS:
+        raise KeyError(
+            f"unknown ordering algorithm {name!r}; valid names: "
+            f"{sorted(ORDERING_ALGORITHMS)}"
+        )
+    return ORDERING_ALGORITHMS[key]

@@ -1,0 +1,35 @@
+"""Iterative solvers and ordering-sensitive preconditioners.
+
+The paper's introduction motivates envelope-reducing orderings beyond direct
+envelope factorization:
+
+    "The RCM ordering has been found to be an effective preordering in
+    computing incomplete factorization preconditioners for preconditioned
+    conjugate gradients methods.  Such orderings have also been used in
+    parallel matrix-vector multiplication ..."
+
+This subpackage provides that application layer so the effect of the
+orderings on *iterative* solution methods can be measured:
+
+* :mod:`repro.solvers.cg` — conjugate gradients with optional preconditioning
+  and full convergence-history reporting;
+* :mod:`repro.solvers.ic` — incomplete Cholesky IC(0) (no-fill) factorization
+  on the reordered matrix, plus a diagonal (Jacobi) fallback;
+* :func:`repro.solvers.preconditioned_cg_experiment` — the one-call experiment
+  used by the ablation benchmark: reorder, build IC(0), run CG, report the
+  iteration count and timings for each ordering.
+"""
+
+from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.ic import IncompleteCholesky, incomplete_cholesky, jacobi_preconditioner
+from repro.solvers.experiment import PcgExperimentResult, preconditioned_cg_experiment
+
+__all__ = [
+    "CGResult",
+    "conjugate_gradient",
+    "IncompleteCholesky",
+    "incomplete_cholesky",
+    "jacobi_preconditioner",
+    "PcgExperimentResult",
+    "preconditioned_cg_experiment",
+]

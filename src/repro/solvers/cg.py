@@ -1,0 +1,126 @@
+"""Preconditioned conjugate gradients with convergence history.
+
+A small, dependency-free CG implementation (SciPy's ``cg`` does not expose the
+per-iteration residual history, which is exactly what the ordering/
+preconditioner experiments need to compare convergence behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_square
+
+__all__ = ["CGResult", "conjugate_gradient"]
+
+
+@dataclass(frozen=True)
+class CGResult:
+    """Result of a conjugate-gradient solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    converged:
+        Whether the relative residual tolerance was met.
+    iterations:
+        Number of CG iterations performed.
+    residual_norms:
+        ``||b - A x_k||_2`` after every iteration (index 0 is the initial
+        residual norm).
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norms: list = field(default_factory=list)
+
+    @property
+    def final_relative_residual(self) -> float:
+        """Last residual norm divided by the initial one."""
+        if not self.residual_norms or self.residual_norms[0] == 0:
+            return 0.0
+        return self.residual_norms[-1] / self.residual_norms[0]
+
+
+def conjugate_gradient(
+    matrix,
+    b: np.ndarray,
+    *,
+    preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iter: int | None = None,
+) -> CGResult:
+    """Solve ``A x = b`` for symmetric positive definite ``A`` with (P)CG.
+
+    Parameters
+    ----------
+    matrix:
+        SPD SciPy sparse matrix or dense array.
+    b:
+        Right-hand side.
+    preconditioner:
+        Callable applying ``M^{-1}`` to a vector (e.g.
+        :meth:`repro.solvers.ic.IncompleteCholesky.apply`).  ``None`` runs
+        plain CG.
+    x0:
+        Initial guess (default zero).
+    tol:
+        Convergence test ``||b - A x_k|| <= tol * ||b||``.
+    max_iter:
+        Iteration cap (default ``10 n``).
+
+    Returns
+    -------
+    CGResult
+    """
+    matrix, n = check_square(matrix, "matrix")
+    a = matrix.tocsr() if sp.issparse(matrix) else np.asarray(matrix, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError(f"b must have shape ({n},), got {b.shape}")
+    if max_iter is None:
+        max_iter = 10 * n
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - a @ x
+    b_norm = float(np.linalg.norm(b))
+    target = tol * (b_norm if b_norm > 0 else 1.0)
+    residual_norms = [float(np.linalg.norm(r))]
+    if residual_norms[0] <= target:
+        return CGResult(x=x, converged=True, iterations=0, residual_norms=residual_norms)
+
+    apply_m = preconditioner if preconditioner is not None else (lambda v: v)
+    z = apply_m(r)
+    p = z.copy()
+    rz = float(np.dot(r, z))
+
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iter + 1):
+        ap = a @ p
+        denominator = float(np.dot(p, ap))
+        if denominator <= 0:
+            # Loss of positive definiteness (or breakdown): stop with what we have.
+            break
+        alpha = rz / denominator
+        x += alpha * p
+        r -= alpha * ap
+        residual_norm = float(np.linalg.norm(r))
+        residual_norms.append(residual_norm)
+        if residual_norm <= target:
+            converged = True
+            break
+        z = apply_m(r)
+        rz_new = float(np.dot(r, z))
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+
+    return CGResult(x=x, converged=converged, iterations=iterations, residual_norms=residual_norms)

@@ -1,0 +1,282 @@
+"""Harwell-Boeing (``.rsa`` / ``.psa``) reading and writing.
+
+The matrices evaluated in the paper (BCSSTK13, BCSSTK29-33, CAN1072, POW9,
+DWT2680, ...) were distributed in the Harwell-Boeing exchange format.  This
+module implements a reader and writer for *assembled* matrices of the types
+used by the paper's test set:
+
+* ``RSA`` — real symmetric assembled,
+* ``PSA`` — pattern symmetric assembled,
+* ``RUA`` / ``PUA`` — real / pattern unsymmetric assembled (read only;
+  symmetrized downstream by :func:`repro.sparse.structure_from_matrix`).
+
+Finite-element ("elemental", ``*SE``) matrices are not supported; none of the
+paper's matrices use that storage.
+
+The format is fixed-column Fortran card images; the reader parses the Fortran
+edit descriptors found on the header cards (e.g. ``(16I5)``, ``(5E16.8)``)
+to determine field widths, which is what a conforming HB reader must do.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import TextIO, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["read_harwell_boeing", "write_harwell_boeing", "HBHeader"]
+
+# Fortran edit descriptors such as 16I5, 10I8, 5E16.8, 4D20.12, 3F20.16,
+# optionally wrapped in parentheses and with a leading repeat/"1P" scale.
+_FORMAT_RE = re.compile(
+    r"""^\s*\(?\s*
+        (?:\d+\s*P\s*,?\s*)?          # optional scale factor like 1P
+        (?P<repeat>\d*)\s*
+        (?P<code>[IiEeDdFfGg])\s*
+        (?P<width>\d+)
+        (?:\.\d+)?
+        \s*\)?\s*$""",
+    re.VERBOSE,
+)
+
+
+@dataclass
+class HBHeader:
+    """Parsed Harwell-Boeing header cards."""
+
+    title: str
+    key: str
+    mxtype: str
+    nrow: int
+    ncol: int
+    nnzero: int
+    ptr_format: str
+    ind_format: str
+    val_format: str
+
+
+def _parse_fortran_format(fmt: str) -> tuple[int, int, str]:
+    """Return ``(per_line, width, code)`` for a Fortran edit descriptor."""
+    match = _FORMAT_RE.match(fmt)
+    if not match:
+        raise ValueError(f"unsupported Fortran format descriptor {fmt!r}")
+    repeat = int(match.group("repeat") or 1)
+    width = int(match.group("width"))
+    code = match.group("code").upper()
+    return repeat, width, code
+
+
+def _read_fixed_width_ints(stream: TextIO, count: int, fmt: str) -> np.ndarray:
+    per_line, width, _ = _parse_fortran_format(fmt)
+    out = np.empty(count, dtype=np.intp)
+    filled = 0
+    while filled < count:
+        line = stream.readline()
+        if not line:
+            raise ValueError("unexpected end of file while reading integer data")
+        line = line.rstrip("\n")
+        for k in range(per_line):
+            field = line[k * width : (k + 1) * width]
+            if not field.strip():
+                continue
+            out[filled] = int(field)
+            filled += 1
+            if filled == count:
+                break
+    return out
+
+
+def _read_fixed_width_floats(stream: TextIO, count: int, fmt: str) -> np.ndarray:
+    per_line, width, _ = _parse_fortran_format(fmt)
+    out = np.empty(count, dtype=np.float64)
+    filled = 0
+    while filled < count:
+        line = stream.readline()
+        if not line:
+            raise ValueError("unexpected end of file while reading value data")
+        line = line.rstrip("\n")
+        for k in range(per_line):
+            field = line[k * width : (k + 1) * width]
+            if not field.strip():
+                continue
+            # Fortran D exponents -> E
+            out[filled] = float(field.replace("D", "E").replace("d", "e"))
+            filled += 1
+            if filled == count:
+                break
+    return out
+
+
+def _open_maybe(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, os.PathLike)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_harwell_boeing(
+    path_or_file: Union[str, os.PathLike, TextIO],
+    return_header: bool = False,
+):
+    """Read an assembled Harwell-Boeing matrix.
+
+    Parameters
+    ----------
+    path_or_file:
+        Path or open text stream.
+    return_header:
+        If ``True`` return ``(matrix, header)`` where *header* is an
+        :class:`HBHeader`.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        The matrix with symmetric storage expanded to both triangles.
+        Pattern matrices get unit values.
+    """
+    stream, should_close = _open_maybe(path_or_file, "r")
+    try:
+        card1 = stream.readline().rstrip("\n")
+        if not card1:
+            raise ValueError("empty Harwell-Boeing file")
+        title = card1[:72].rstrip()
+        key = card1[72:80].strip()
+
+        card2 = stream.readline().rstrip("\n")
+        fields2 = [card2[i * 14 : (i + 1) * 14] for i in range(5)]
+        totcrd = int(fields2[0])
+        rhscrd = int(fields2[4]) if fields2[4].strip() else 0
+        del totcrd  # informational only
+
+        card3 = stream.readline().rstrip("\n")
+        mxtype = card3[:3].upper()
+        nrow = int(card3[14:28])
+        ncol = int(card3[28:42])
+        nnzero = int(card3[42:56])
+        neltvl_field = card3[56:70].strip()
+        neltvl = int(neltvl_field) if neltvl_field else 0
+        if mxtype[2] == "E" or neltvl:
+            raise ValueError("elemental (finite-element) Harwell-Boeing matrices are not supported")
+        if mxtype[0] not in ("R", "P"):
+            raise ValueError(f"unsupported value type {mxtype[0]!r} (only R and P)")
+        if mxtype[1] not in ("S", "U"):
+            raise ValueError(f"unsupported symmetry type {mxtype[1]!r} (only S and U)")
+
+        card4 = stream.readline().rstrip("\n")
+        ptrfmt = card4[:16].strip()
+        indfmt = card4[16:32].strip()
+        valfmt = card4[32:52].strip()
+
+        if rhscrd > 0:
+            stream.readline()  # card 5 (right-hand side description): skipped
+
+        colptr = _read_fixed_width_ints(stream, ncol + 1, ptrfmt)
+        rowind = _read_fixed_width_ints(stream, nnzero, indfmt)
+        if mxtype[0] == "R":
+            values = _read_fixed_width_floats(stream, nnzero, valfmt)
+        else:
+            values = np.ones(nnzero, dtype=np.float64)
+    finally:
+        if should_close:
+            stream.close()
+
+    header = HBHeader(
+        title=title,
+        key=key,
+        mxtype=mxtype,
+        nrow=nrow,
+        ncol=ncol,
+        nnzero=nnzero,
+        ptr_format=ptrfmt,
+        ind_format=indfmt,
+        val_format=valfmt,
+    )
+
+    matrix = sp.csc_matrix(
+        (values, rowind - 1, colptr - 1), shape=(nrow, ncol)
+    )
+    if mxtype[1] == "S":
+        # Symmetric storage keeps only the lower triangle: expand it.
+        lower = sp.tril(matrix, k=-1)
+        matrix = matrix + lower.T
+    matrix = matrix.tocsr()
+    if return_header:
+        return matrix, header
+    return matrix
+
+
+def write_harwell_boeing(
+    path_or_file: Union[str, os.PathLike, TextIO],
+    matrix,
+    *,
+    title: str = "repro matrix",
+    key: str = "REPRO",
+    pattern_only: bool = False,
+) -> None:
+    """Write a symmetric matrix in Harwell-Boeing ``RSA``/``PSA`` format.
+
+    Only the lower triangle (including the diagonal) is stored, as the format
+    specifies for symmetric matrices.
+
+    Parameters
+    ----------
+    path_or_file:
+        Destination path or open text stream.
+    matrix:
+        Structurally symmetric SciPy sparse matrix or dense array.
+    title, key:
+        Header identification fields (truncated to 72 and 8 characters).
+    pattern_only:
+        Write a ``PSA`` pattern file (no value records).
+    """
+    a = sp.csc_matrix(matrix)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("Harwell-Boeing symmetric output requires a square matrix")
+    lower = sp.tril(a, k=0).tocsc()
+    lower.sort_indices()
+    n = a.shape[0]
+    nnz = lower.nnz
+
+    ptrfmt, ptr_per_line, ptr_width = "(10I10)", 10, 10
+    indfmt, ind_per_line, ind_width = "(10I10)", 10, 10
+    valfmt, val_per_line, val_width = "(4E24.16)", 4, 24
+
+    def emit_ints(stream, values, per_line, width):
+        for start in range(0, len(values), per_line):
+            chunk = values[start : start + per_line]
+            stream.write("".join(f"{int(v):>{width}d}" for v in chunk) + "\n")
+
+    def emit_floats(stream, values, per_line, width):
+        for start in range(0, len(values), per_line):
+            chunk = values[start : start + per_line]
+            stream.write("".join(f"{float(v):>{width}.16E}" for v in chunk) + "\n")
+
+    def card_count(count, per_line):
+        return (count + per_line - 1) // per_line if count else 0
+
+    ptrcrd = card_count(n + 1, ptr_per_line)
+    indcrd = card_count(nnz, ind_per_line)
+    valcrd = 0 if pattern_only else card_count(nnz, val_per_line)
+    totcrd = ptrcrd + indcrd + valcrd
+    mxtype = "PSA" if pattern_only else "RSA"
+
+    stream, should_close = _open_maybe(path_or_file, "w")
+    try:
+        stream.write(f"{title[:72]:<72}{key[:8]:<8}\n")
+        stream.write(
+            f"{totcrd:>14d}{ptrcrd:>14d}{indcrd:>14d}{valcrd:>14d}{0:>14d}\n"
+        )
+        stream.write(f"{mxtype:<3}{'':11}{n:>14d}{n:>14d}{nnz:>14d}{0:>14d}\n")
+        stream.write(
+            f"{ptrfmt:<16}{indfmt:<16}{valfmt:<20}{'':<20}\n"
+        )
+        emit_ints(stream, (lower.indptr + 1).tolist(), ptr_per_line, ptr_width)
+        emit_ints(stream, (lower.indices + 1).tolist(), ind_per_line, ind_width)
+        if not pattern_only:
+            emit_floats(stream, lower.data.tolist(), val_per_line, val_width)
+    finally:
+        if should_close:
+            stream.close()

@@ -1,0 +1,96 @@
+"""Structural operations on symmetric sparse matrices.
+
+These are thin, well-tested wrappers around SciPy sparse operations expressed
+in the vocabulary of the paper (structural symmetry, symmetric permutations
+``P^T A P``, lower triangles for envelope definitions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.pattern import SymmetricPattern
+from repro.utils.validation import check_permutation, check_square
+
+__all__ = [
+    "structure_from_matrix",
+    "symmetrize",
+    "permute_symmetric",
+    "permute_pattern",
+    "lower_triangle",
+    "structural_density",
+]
+
+
+def structure_from_matrix(matrix, tol: float = 0.0) -> SymmetricPattern:
+    """Extract the symmetric sparsity structure of *matrix*.
+
+    Accepts SciPy sparse matrices, dense arrays, or an existing
+    :class:`SymmetricPattern` (returned unchanged).  Entries with magnitude
+    ``<= tol`` are dropped before symmetrization.
+    """
+    if isinstance(matrix, SymmetricPattern):
+        return matrix
+    return SymmetricPattern.from_scipy(matrix, tol=tol)
+
+
+def symmetrize(matrix, mode: str = "or") -> sp.csr_matrix:
+    """Return a structurally symmetric version of *matrix*.
+
+    Parameters
+    ----------
+    matrix:
+        Square SciPy sparse matrix or dense array.
+    mode:
+        ``"or"`` — union of the patterns of ``A`` and ``A.T`` with values
+        ``(A + A.T) / 2``;
+        ``"and"`` — intersection of the two patterns (entries present in both),
+        values ``(A + A.T) / 2`` restricted to the intersection.
+    """
+    matrix, n = check_square(matrix, "matrix")
+    a = sp.csr_matrix(matrix, dtype=np.float64)
+    at = a.T.tocsr()
+    if mode == "or":
+        return ((a + at) * 0.5).tocsr()
+    if mode == "and":
+        mask_a = a.copy()
+        mask_a.data = np.ones_like(mask_a.data)
+        mask_at = at.copy()
+        mask_at.data = np.ones_like(mask_at.data)
+        both = mask_a.multiply(mask_at)
+        return (((a + at) * 0.5).multiply(both)).tocsr()
+    raise ValueError(f"mode must be 'or' or 'and', got {mode!r}")
+
+
+def permute_symmetric(matrix, perm) -> sp.csr_matrix:
+    """Symmetric permutation ``P^T A P`` of a SciPy sparse (or dense) matrix.
+
+    ``perm`` is the new-to-old map: row/column ``k`` of the result is
+    row/column ``perm[k]`` of the input.  Values are preserved.
+    """
+    matrix, n = check_square(matrix, "matrix")
+    perm = check_permutation(perm, n)
+    a = sp.csr_matrix(matrix)
+    return a[perm][:, perm].tocsr()
+
+
+def permute_pattern(pattern: SymmetricPattern, perm) -> SymmetricPattern:
+    """Symmetric permutation of a :class:`SymmetricPattern` (new-to-old *perm*)."""
+    return pattern.permute(perm)
+
+
+def lower_triangle(matrix, include_diagonal: bool = True) -> sp.csr_matrix:
+    """Lower-triangular part of *matrix* (the part the envelope is defined on)."""
+    matrix, _ = check_square(matrix, "matrix")
+    a = sp.csr_matrix(matrix)
+    k = 0 if include_diagonal else -1
+    return sp.tril(a, k=k).tocsr()
+
+
+def structural_density(pattern: SymmetricPattern) -> float:
+    """Fraction of structurally nonzero entries (diagonal included)."""
+    n = pattern.n
+    if n == 0:
+        return 0.0
+    return pattern.nnz / float(n * n)

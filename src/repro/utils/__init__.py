@@ -1,0 +1,25 @@
+"""Shared utilities: argument validation, timing, and deterministic RNG helpers.
+
+These helpers are deliberately small and dependency free so that every other
+subpackage (``repro.sparse``, ``repro.graph``, ``repro.eigen`` ...) can use
+them without creating import cycles.
+"""
+
+from repro.utils.validation import (
+    check_permutation,
+    check_square,
+    check_symmetric_structure,
+    require_positive_int,
+)
+from repro.utils.timing import Timer, timed
+from repro.utils.rng import default_rng
+
+__all__ = [
+    "check_permutation",
+    "check_square",
+    "check_symmetric_structure",
+    "require_positive_int",
+    "Timer",
+    "timed",
+    "default_rng",
+]

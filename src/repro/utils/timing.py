@@ -1,0 +1,76 @@
+"""Lightweight wall-clock timing helpers.
+
+The paper reports ordering run times (Tables 4.1-4.3) and factorization times
+(Table 4.4).  The benchmark harnesses use :class:`Timer` for coarse-grained
+measurements and ``pytest-benchmark`` for statistically robust ones.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list = field(default_factory=list)
+    _start: float | None = None
+
+    def start(self) -> "Timer":
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer, record a lap, and return the lap duration."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before Timer.start()")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def reset(self) -> None:
+        """Zero the accumulated time and laps."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+
+@contextmanager
+def timed(label: str, sink: dict | None = None):
+    """Context manager recording the elapsed time under *label* in *sink*.
+
+    If *sink* is ``None`` the measurement is discarded (useful to keep call
+    sites uniform when timing is optional).
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        if sink is not None:
+            sink[label] = sink.get(label, 0.0) + elapsed

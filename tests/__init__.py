@@ -1,0 +1,6 @@
+"""Test package for the repro library.
+
+Keeping ``tests`` a proper package lets the individual test modules import the
+shared hypothesis strategies from :mod:`tests.conftest` regardless of how
+pytest is invoked (``pytest`` console script or ``python -m pytest``).
+"""

@@ -1,0 +1,132 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import strategies as st
+
+from repro.collections.generators import random_geometric_pattern
+from repro.collections.meshes import (
+    binary_tree_pattern,
+    complete_pattern,
+    cycle_pattern,
+    grid2d_pattern,
+    path_pattern,
+    star_pattern,
+)
+from repro.sparse.pattern import SymmetricPattern
+
+
+# --------------------------------------------------------------------------- #
+# plain fixtures
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def path10() -> SymmetricPattern:
+    """Path graph on 10 vertices (tridiagonal matrix)."""
+    return path_pattern(10)
+
+
+@pytest.fixture
+def cycle12() -> SymmetricPattern:
+    """Cycle graph on 12 vertices."""
+    return cycle_pattern(12)
+
+
+@pytest.fixture
+def star9() -> SymmetricPattern:
+    """Star graph on 9 vertices (arrowhead matrix)."""
+    return star_pattern(9)
+
+
+@pytest.fixture
+def grid_8x6() -> SymmetricPattern:
+    """5-point 8x6 grid."""
+    return grid2d_pattern(8, 6)
+
+
+@pytest.fixture
+def grid_12x9() -> SymmetricPattern:
+    """9-point 12x9 grid (finite-element style)."""
+    return grid2d_pattern(12, 9, stencil=9)
+
+
+@pytest.fixture
+def tree_depth4() -> SymmetricPattern:
+    """Complete binary tree of depth 4 (31 vertices)."""
+    return binary_tree_pattern(4)
+
+
+@pytest.fixture
+def k6() -> SymmetricPattern:
+    """Complete graph on 6 vertices."""
+    return complete_pattern(6)
+
+
+@pytest.fixture
+def geometric200() -> SymmetricPattern:
+    """Connected random geometric graph with about 200 vertices."""
+    return random_geometric_pattern(200, seed=7)
+
+
+@pytest.fixture
+def disconnected_pattern() -> SymmetricPattern:
+    """Two path components plus one isolated vertex (17 vertices total)."""
+    edges = [(i, i + 1) for i in range(7)]            # component 0: vertices 0..7
+    edges += [(8 + i, 8 + i + 1) for i in range(7)]   # component 1: vertices 8..15
+    return SymmetricPattern.from_edges(17, edges)     # vertex 16 isolated
+
+
+@pytest.fixture
+def spd_grid_matrix(grid_8x6) -> sp.csr_matrix:
+    """Symmetric positive definite matrix on the 8x6 grid (diagonally dominant)."""
+    return grid_8x6.to_scipy("spd")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+# --------------------------------------------------------------------------- #
+# hypothesis strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def small_connected_patterns(draw, min_n: int = 2, max_n: int = 24):
+    """Random connected SymmetricPattern: a spanning tree plus extra edges."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    edges = []
+    # random spanning tree: attach each vertex to a random earlier one
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.append((parent, v))
+    n_extra = draw(st.integers(min_value=0, max_value=min(20, n * (n - 1) // 2)))
+    for _ in range(n_extra):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            edges.append((min(a, b), max(a, b)))
+    return SymmetricPattern.from_edges(n, edges)
+
+
+@st.composite
+def small_patterns(draw, min_n: int = 1, max_n: int = 24):
+    """Random SymmetricPattern, possibly disconnected (including empty graphs)."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    max_edges = n * (n - 1) // 2
+    n_edges = draw(st.integers(min_value=0, max_value=min(40, max_edges)))
+    edges = []
+    for _ in range(n_edges):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            edges.append((a, b))
+    return SymmetricPattern.from_edges(n, edges)
+
+
+@st.composite
+def permutations_of(draw, n: int):
+    """A random permutation of 0..n-1 as a list."""
+    return draw(st.permutations(range(n)))

@@ -1,0 +1,94 @@
+"""Unit tests for the matvec-locality metrics (repro.analysis.locality)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import (
+    average_nonzero_distance,
+    cache_line_spans,
+    locality_report,
+    partition_communication_volume,
+)
+from repro.collections.generators import airfoil_pattern
+from repro.collections.meshes import path_pattern
+from repro.envelope.sums import one_sum
+from repro.orderings.base import random_ordering
+from repro.orderings.cuthill_mckee import rcm_ordering
+from repro.orderings.spectral import spectral_ordering
+from repro.sparse.pattern import SymmetricPattern
+
+
+class TestAverageNonzeroDistance:
+    def test_path_natural(self, path10):
+        assert average_nonzero_distance(path10) == pytest.approx(1.0)
+
+    def test_relation_to_one_sum(self, geometric200, rng):
+        perm = rng.permutation(geometric200.n)
+        expected = one_sum(geometric200, perm) / geometric200.num_edges
+        assert average_nonzero_distance(geometric200, perm) == pytest.approx(expected)
+
+    def test_empty_graph(self):
+        assert average_nonzero_distance(SymmetricPattern.empty(5)) == 0.0
+
+    def test_good_ordering_beats_random(self, geometric200):
+        good = average_nonzero_distance(geometric200, rcm_ordering(geometric200).perm)
+        bad = average_nonzero_distance(geometric200, random_ordering(geometric200.n, rng=1).perm)
+        assert good < bad
+
+
+class TestCacheLineSpans:
+    def test_path_touches_few_lines(self, path10):
+        result = cache_line_spans(path10, line_length=4)
+        assert result["per_row_max"] <= 2
+        assert result["total"] >= path10.n  # every row touches at least its own line
+
+    def test_banded_better_than_random(self, geometric200):
+        banded = cache_line_spans(geometric200, rcm_ordering(geometric200).perm)
+        scattered = cache_line_spans(geometric200, random_ordering(geometric200.n, rng=2).perm)
+        assert banded["total"] < scattered["total"]
+
+    def test_line_length_one_counts_neighbours(self, path10):
+        result = cache_line_spans(path10, line_length=1)
+        # every row touches itself plus its 1-2 neighbours
+        assert result["per_row_max"] == 3
+
+    def test_invalid_line_length(self, path10):
+        with pytest.raises(ValueError):
+            cache_line_spans(path10, line_length=0)
+
+
+class TestPartitionCommunicationVolume:
+    def test_path_contiguous_partition_minimal(self, path10):
+        result = partition_communication_volume(path10, parts=2)
+        assert result["cut_edges"] == 1
+        assert result["volume"] == 2  # each side receives one remote entry
+
+    def test_single_part_no_communication(self, geometric200):
+        result = partition_communication_volume(geometric200, parts=1)
+        assert result == {"volume": 0, "cut_edges": 0, "max_part_volume": 0}
+
+    def test_good_ordering_reduces_volume(self):
+        pattern = airfoil_pattern(400, seed=4)
+        spectral = spectral_ordering(pattern, method="lanczos").perm
+        rand = random_ordering(pattern.n, rng=3).perm
+        good = partition_communication_volume(pattern, 4, spectral)
+        bad = partition_communication_volume(pattern, 4, rand)
+        assert good["volume"] < bad["volume"]
+        assert good["cut_edges"] < bad["cut_edges"]
+
+    def test_volume_bounded_by_cut(self, geometric200, rng):
+        perm = rng.permutation(geometric200.n)
+        result = partition_communication_volume(geometric200, 3, perm)
+        assert result["volume"] <= 2 * result["cut_edges"]
+        assert result["max_part_volume"] <= result["volume"]
+
+
+class TestLocalityReport:
+    def test_bundle_consistency(self, geometric200):
+        ordering = rcm_ordering(geometric200)
+        report = locality_report(geometric200, ordering.perm, parts=3)
+        assert report.average_distance == pytest.approx(
+            average_nonzero_distance(geometric200, ordering.perm)
+        )
+        assert report.communication_volume >= 0
+        assert report.cache_total >= geometric200.n

@@ -1,0 +1,72 @@
+"""Unit tests for the comparison-table reporting (repro.analysis.report)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ComparisonRow, comparison_table, format_table, rank_by
+from repro.collections.meshes import grid2d_pattern
+from repro.envelope.metrics import envelope_size
+from repro.orderings.cuthill_mckee import rcm_ordering
+from repro.orderings.gps import gps_ordering
+from repro.orderings.spectral import spectral_ordering
+
+
+def _rows():
+    return [
+        ComparisonRow("p", "a", 10, 30, 100, 1000, 9, 0.1),
+        ComparisonRow("p", "b", 10, 30, 80, 900, 12, 0.2),
+        ComparisonRow("p", "c", 10, 30, 120, 1500, 7, 0.05),
+    ]
+
+
+class TestRankBy:
+    def test_rank_by_envelope(self):
+        ranked = {r.algorithm: r.rank for r in rank_by(_rows())}
+        assert ranked == {"b": 1, "a": 2, "c": 3}
+
+    def test_rank_by_bandwidth(self):
+        ranked = {r.algorithm: r.rank for r in rank_by(_rows(), key="bandwidth")}
+        assert ranked == {"c": 1, "a": 2, "b": 3}
+
+    def test_ranks_are_per_problem(self):
+        rows = _rows() + [ComparisonRow("q", "a", 5, 10, 50, 100, 3, 0.0)]
+        ranked = rank_by(rows)
+        q_rows = [r for r in ranked if r.problem == "q"]
+        assert len(q_rows) == 1 and q_rows[0].rank == 1
+
+
+class TestComparisonTable:
+    def test_rows_match_metrics(self, grid_8x6):
+        orderings = {
+            "spectral": spectral_ordering(grid_8x6, method="dense"),
+            "rcm": rcm_ordering(grid_8x6),
+            "gps": gps_ordering(grid_8x6),
+            "natural": None,
+        }
+        rows = comparison_table(grid_8x6, orderings, problem="grid")
+        assert len(rows) == 4
+        by_name = {r.algorithm: r for r in rows}
+        for name, ordering in orderings.items():
+            perm = None if ordering is None else ordering.perm
+            assert by_name[name].envelope_size == envelope_size(grid_8x6, perm)
+        assert sorted(r.rank for r in rows) == [1, 2, 3, 4]
+
+    def test_run_times_recorded(self, path10):
+        rows = comparison_table(
+            path10, {"rcm": rcm_ordering(path10)}, run_times={"rcm": 1.25}
+        )
+        assert rows[0].run_time == pytest.approx(1.25)
+
+
+class TestFormatTable:
+    def test_contains_all_algorithms_and_title(self, grid_8x6):
+        orderings = {"rcm": rcm_ordering(grid_8x6), "gps": gps_ordering(grid_8x6)}
+        rows = comparison_table(grid_8x6, orderings, problem="grid_8x6")
+        text = format_table(rows, title="Table test")
+        assert "Table test" in text
+        assert "RCM" in text and "GPS" in text
+        assert "grid_8x6" in text
+
+    def test_problem_name_not_repeated(self):
+        text = format_table(rank_by(_rows()))
+        assert text.count("p ") <= 2  # the problem label appears once in the body

@@ -1,0 +1,53 @@
+"""Unit tests for the experiment runner (repro.analysis.runner)."""
+
+import pytest
+
+from repro.analysis.runner import run_comparison, run_problem_suite
+from repro.collections.meshes import grid2d_pattern
+from repro.envelope.metrics import envelope_size
+
+
+class TestRunComparison:
+    def test_default_paper_algorithms(self, grid_8x6):
+        result = run_comparison(grid_8x6, problem="grid")
+        assert {r.algorithm for r in result.rows} == {"spectral", "gk", "gps", "rcm"}
+        assert set(result.run_times) == {"spectral", "gk", "gps", "rcm"}
+        assert all(t >= 0 for t in result.run_times.values())
+
+    def test_winner_has_rank_one(self, geometric200):
+        result = run_comparison(geometric200, algorithms=("spectral", "rcm"), problem="geo")
+        winner_row = result.row_for(result.winner)
+        assert winner_row.rank == 1
+        assert winner_row.envelope_size == min(r.envelope_size for r in result.rows)
+
+    def test_rows_match_orderings(self, grid_8x6):
+        result = run_comparison(grid_8x6, algorithms=("rcm",), problem="grid")
+        row = result.row_for("rcm")
+        assert row.envelope_size == envelope_size(grid_8x6, result.orderings["rcm"].perm)
+
+    def test_row_for_missing_algorithm(self, grid_8x6):
+        result = run_comparison(grid_8x6, algorithms=("rcm",))
+        with pytest.raises(KeyError):
+            result.row_for("gps")
+
+    def test_algorithm_options_forwarded(self, grid_8x6):
+        result = run_comparison(
+            grid_8x6,
+            algorithms=("spectral",),
+            algorithm_options={"spectral": {"method": "dense"}},
+        )
+        assert result.orderings["spectral"].metadata["solver"] == "dense"
+
+    def test_to_text_is_table(self, grid_8x6):
+        result = run_comparison(grid_8x6, algorithms=("rcm", "gps"), problem="grid")
+        text = result.to_text()
+        assert "RCM" in text and "GPS" in text and "Rank" in text
+
+
+class TestRunProblemSuite:
+    def test_runs_registered_problems(self):
+        results = run_problem_suite(["POW9", "DWT2680"], algorithms=("rcm", "spectral"), scale=0.02)
+        assert [r.problem for r in results] == ["POW9", "DWT2680"]
+        for result in results:
+            assert len(result.rows) == 2
+            assert sorted(r.rank for r in result.rows) == [1, 2]

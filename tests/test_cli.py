@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cli import build_parser, main
+from repro.collections.meshes import grid2d_pattern
+from repro.sparse.io_mm import read_matrix_market, write_matrix_market
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    pattern = grid2d_pattern(8, 7)
+    path = tmp_path / "grid.mtx"
+    write_matrix_market(path, pattern.to_scipy("spd"))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reorder_defaults(self):
+        args = build_parser().parse_args(["reorder", "problem:POW9@0.02"])
+        assert args.algorithm == "spectral"
+        assert args.command == "reorder"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reorder", "x.mtx", "--algorithm", "amd"])
+
+
+class TestReorderCommand:
+    def test_reorder_file_and_write_outputs(self, matrix_file, tmp_path, capsys):
+        perm_path = tmp_path / "perm.txt"
+        out_path = tmp_path / "reordered.mtx"
+        code = main(
+            [
+                "reorder",
+                matrix_file,
+                "--algorithm",
+                "rcm",
+                "--output-permutation",
+                str(perm_path),
+                "--output-matrix",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "envelope size" in output
+        perm = np.loadtxt(perm_path, dtype=int)
+        assert sorted(perm.tolist()) == list(range(56))
+        reordered = read_matrix_market(out_path)
+        original = read_matrix_market(matrix_file)
+        np.testing.assert_allclose(
+            reordered.toarray(), original.toarray()[np.ix_(perm, perm)], atol=1e-12
+        )
+
+    def test_reorder_surrogate_problem(self, capsys):
+        code = main(["reorder", "problem:POW9@0.02", "--algorithm", "spectral", "--method", "dense"])
+        assert code == 0
+        assert "POW9" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_default_algorithms(self, matrix_file, capsys):
+        code = main(["compare", matrix_file])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("SPECTRAL", "GK", "GPS", "RCM"):
+            assert name in output
+        assert "Smallest envelope" in output
+
+    def test_compare_custom_algorithms(self, matrix_file, capsys):
+        code = main(["compare", matrix_file, "--algorithms", "rcm,sloan"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SLOAN" in output and "SPECTRAL" not in output
+
+    def test_compare_unknown_algorithm_errors(self, matrix_file, capsys):
+        code = main(["compare", matrix_file, "--algorithms", "rcm,amd"])
+        assert code == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+
+class TestSpyCommand:
+    def test_spy_original(self, matrix_file, capsys):
+        code = main(["spy", matrix_file, "--resolution", "12"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ORIGINAL" in output
+        assert "envelope=" in output
+
+    def test_spy_with_algorithm(self, matrix_file, capsys):
+        code = main(["spy", matrix_file, "--algorithm", "rcm", "--resolution", "10"])
+        assert code == 0
+        assert "RCM" in capsys.readouterr().out
+
+
+class TestFiedlerCommand:
+    def test_fiedler_on_file(self, matrix_file, tmp_path, capsys):
+        vec_path = tmp_path / "fiedler.txt"
+        code = main(["fiedler", matrix_file, "--method", "dense", "--output-vector", str(vec_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "algebraic connectivity" in output
+        vector = np.loadtxt(vec_path)
+        assert vector.shape == (56,)
+        assert abs(vector.sum()) < 1e-8
+
+
+class TestProblemsCommand:
+    def test_lists_all_tables(self, capsys):
+        code = main(["problems"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "BARTH4" in output and "BCSSTK29" in output and "POW9" in output

@@ -1,0 +1,110 @@
+"""Unit tests for the unstructured generators (repro.collections.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.collections.generators import (
+    airfoil_pattern,
+    annulus_pattern,
+    cylinder_shell_pattern,
+    plate_with_holes_pattern,
+    power_network_pattern,
+    random_geometric_pattern,
+)
+from repro.graph.components import is_connected
+
+
+class TestAirfoil:
+    def test_connected_and_planar_like(self):
+        p = airfoil_pattern(500, seed=1)
+        assert is_connected(p)
+        # planar triangulations have average degree < 6
+        assert p.degree().mean() < 6.5
+        assert p.n > 300
+
+    def test_deterministic(self):
+        a = airfoil_pattern(300, seed=5)
+        b = airfoil_pattern(300, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert airfoil_pattern(300, seed=1) != airfoil_pattern(300, seed=2)
+
+    def test_size_scales(self):
+        small = airfoil_pattern(200, seed=3)
+        large = airfoil_pattern(800, seed=3)
+        assert large.n > 2 * small.n
+
+
+class TestAnnulus:
+    def test_size(self):
+        p = annulus_pattern(5, 20)
+        assert p.n == 100
+        assert is_connected(p)
+
+    def test_periodic_in_angle(self):
+        p = annulus_pattern(3, 8)
+        assert p.has_edge(0, 7)  # ring 0: vertex 0 adjacent to vertex 7 (wrap)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            annulus_pattern(1, 10)
+
+
+class TestCylinderShell:
+    def test_basic(self):
+        p = cylinder_shell_pattern(10, 12)
+        assert p.n == 120
+        assert is_connected(p)
+
+    def test_multi_dof(self):
+        base = cylinder_shell_pattern(6, 8, dofs_per_node=1)
+        expanded = cylinder_shell_pattern(6, 8, dofs_per_node=3)
+        assert expanded.n == 3 * base.n
+
+    def test_stiffeners_add_edges(self):
+        plain = cylinder_shell_pattern(12, 16, stiffener_every=0)
+        stiffened = cylinder_shell_pattern(12, 16, stiffener_every=3)
+        assert stiffened.num_edges > plain.num_edges
+
+
+class TestPlateWithHoles:
+    def test_holes_remove_vertices(self):
+        full = plate_with_holes_pattern(30, 20, holes=0, seed=1)
+        holed = plate_with_holes_pattern(30, 20, holes=3, seed=1)
+        assert holed.n < full.n
+        assert is_connected(holed)
+
+    def test_no_holes_is_full_grid(self):
+        p = plate_with_holes_pattern(10, 8, holes=0, seed=0)
+        assert p.n == 80
+
+
+class TestPowerNetwork:
+    def test_sparse_and_connected(self):
+        p = power_network_pattern(800, seed=9)
+        assert is_connected(p)
+        # power networks are very sparse: mean degree around 2-3
+        assert p.degree().mean() < 3.5
+
+    def test_deterministic(self):
+        assert power_network_pattern(300, seed=2) == power_network_pattern(300, seed=2)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            power_network_pattern(1)
+
+
+class TestRandomGeometric:
+    def test_connected_with_default_radius(self):
+        p = random_geometric_pattern(300, seed=6)
+        assert is_connected(p)
+        assert p.n > 200
+
+    def test_radius_controls_density(self):
+        sparse = random_geometric_pattern(200, radius=0.08, seed=3)
+        dense = random_geometric_pattern(200, radius=0.25, seed=3)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_deterministic(self):
+        assert random_geometric_pattern(150, seed=4) == random_geometric_pattern(150, seed=4)

@@ -1,0 +1,135 @@
+"""Unit tests for the structured mesh generators (repro.collections.meshes)."""
+
+import numpy as np
+import pytest
+
+from repro.collections.meshes import (
+    binary_tree_pattern,
+    complete_pattern,
+    cycle_pattern,
+    grid2d_pattern,
+    grid3d_pattern,
+    multi_dof_pattern,
+    path_pattern,
+    star_pattern,
+)
+from repro.graph.components import is_connected
+
+
+class TestElementaryGraphs:
+    def test_path(self):
+        p = path_pattern(7)
+        assert p.n == 7 and p.num_edges == 6
+        assert is_connected(p)
+        assert p.max_degree() == 2
+
+    def test_cycle(self):
+        c = cycle_pattern(8)
+        assert c.num_edges == 8
+        np.testing.assert_array_equal(c.degree(), 2 * np.ones(8, dtype=int))
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_pattern(2)
+
+    def test_star(self):
+        s = star_pattern(6)
+        assert s.degree(0) == 5
+        assert all(s.degree(i) == 1 for i in range(1, 6))
+
+    def test_complete(self):
+        k = complete_pattern(5)
+        assert k.num_edges == 10
+        assert k.max_degree() == 4
+
+    def test_binary_tree(self):
+        t = binary_tree_pattern(3)
+        assert t.n == 15
+        assert t.num_edges == 14
+        assert is_connected(t)
+        # leaves have degree 1, root degree 2, internal nodes degree 3
+        degrees = sorted(t.degree().tolist())
+        assert degrees.count(1) == 8
+        assert degrees.count(3) == 6
+        assert degrees.count(2) == 1
+
+
+class TestGrid2D:
+    def test_five_point_counts(self):
+        g = grid2d_pattern(4, 6)
+        assert g.n == 24
+        assert g.num_edges == 4 * 5 + 3 * 6  # horizontal + vertical edges
+
+    def test_nine_point_has_diagonals(self):
+        g5 = grid2d_pattern(5, 5, stencil=5)
+        g9 = grid2d_pattern(5, 5, stencil=9)
+        assert g9.num_edges > g5.num_edges
+        assert g9.has_edge(0, 6)  # (0,0)-(1,1) diagonal
+        assert not g5.has_edge(0, 6)
+
+    def test_connected(self):
+        assert is_connected(grid2d_pattern(9, 3))
+
+    def test_interior_degree(self):
+        g = grid2d_pattern(5, 5)
+        assert g.degree(12) == 4  # centre vertex of the 5x5 grid
+
+    def test_invalid_stencil(self):
+        with pytest.raises(ValueError):
+            grid2d_pattern(3, 3, stencil=7)
+
+    def test_degenerate_1d_grid_is_path(self):
+        g = grid2d_pattern(1, 10)
+        assert g.num_edges == 9
+        assert g.max_degree() == 2
+
+
+class TestGrid3D:
+    def test_seven_point_counts(self):
+        g = grid3d_pattern(3, 4, 5)
+        assert g.n == 60
+        expected_edges = 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+        assert g.num_edges == expected_edges
+
+    def test_27_point_denser(self):
+        g7 = grid3d_pattern(4, 4, 4, stencil=7)
+        g27 = grid3d_pattern(4, 4, 4, stencil=27)
+        assert g27.num_edges > g7.num_edges
+        assert g27.max_degree() == 26
+
+    def test_connected(self):
+        assert is_connected(grid3d_pattern(3, 3, 3, stencil=27))
+
+    def test_invalid_stencil(self):
+        with pytest.raises(ValueError):
+            grid3d_pattern(2, 2, 2, stencil=9)
+
+
+class TestMultiDof:
+    def test_order_multiplied(self):
+        base = path_pattern(5)
+        expanded = multi_dof_pattern(base, 3)
+        assert expanded.n == 15
+
+    def test_intra_node_coupling(self):
+        base = path_pattern(2)
+        expanded = multi_dof_pattern(base, 2)
+        # node 0 -> unknowns 0,1; node 1 -> unknowns 2,3; all pairs coupled
+        assert expanded.has_edge(0, 1)
+        assert expanded.has_edge(2, 3)
+        assert expanded.has_edge(0, 2) and expanded.has_edge(1, 3) and expanded.has_edge(0, 3)
+
+    def test_row_density_scales(self):
+        base = grid2d_pattern(6, 6, stencil=9)
+        expanded = multi_dof_pattern(base, 3)
+        base_density = base.nnz / base.n
+        expanded_density = expanded.nnz / expanded.n
+        assert expanded_density > 2.5 * base_density
+
+    def test_single_dof_is_copy(self):
+        base = path_pattern(4)
+        assert multi_dof_pattern(base, 1) == base
+
+    def test_connectivity_preserved(self):
+        base = grid2d_pattern(4, 4)
+        assert is_connected(multi_dof_pattern(base, 2))

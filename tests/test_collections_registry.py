@@ -1,0 +1,90 @@
+"""Unit tests for the paper-problem registry (repro.collections.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.collections.registry import (
+    PAPER_PROBLEMS,
+    available_problems,
+    default_scale,
+    load_problem,
+)
+from repro.graph.components import is_connected
+from repro.orderings.registry import PAPER_ALGORITHMS
+
+
+class TestRegistryContents:
+    def test_all_18_paper_matrices_registered(self):
+        assert len(PAPER_PROBLEMS) == 18
+
+    def test_tables_partition(self):
+        assert len(available_problems("4.1")) == 6
+        assert len(available_problems("4.2")) == 5
+        assert len(available_problems("4.3")) == 7
+        assert sorted(available_problems()) == sorted(
+            available_problems("4.1") + available_problems("4.2") + available_problems("4.3")
+        )
+
+    def test_paper_metadata_complete(self):
+        for spec in PAPER_PROBLEMS.values():
+            assert spec.paper_n > 0
+            assert spec.paper_nnz > spec.paper_n
+            assert set(spec.paper_envelopes) == set(PAPER_ALGORITHMS)
+            assert set(spec.paper_bandwidths) == set(PAPER_ALGORITHMS)
+            assert spec.description
+
+    def test_paper_envelope_values_sane(self):
+        # Rank-1 algorithm in the paper's Table 4.3 for BARTH4 is SPECTRAL.
+        barth4 = PAPER_PROBLEMS["BARTH4"]
+        assert min(barth4.paper_envelopes, key=barth4.paper_envelopes.get) == "spectral"
+        # And RCM is the fastest / simplest but worst on envelope there.
+        assert barth4.paper_envelopes["rcm"] > barth4.paper_envelopes["spectral"]
+
+
+class TestLoadProblem:
+    def test_case_insensitive(self):
+        pattern, spec = load_problem("barth4", scale=0.02)
+        assert spec.name == "BARTH4"
+        assert pattern.n > 50
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            load_problem("NOSUCH")
+
+    def test_scale_controls_size(self):
+        small, _ = load_problem("DWT2680", scale=0.02)
+        large, _ = load_problem("DWT2680", scale=0.125)
+        assert large.n > small.n
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_problem("POW9", scale=0.0)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_PROBLEMS))
+    def test_every_surrogate_builds_and_is_connected(self, name):
+        pattern, spec = load_problem(name, scale=0.02)
+        assert pattern.n >= 20
+        assert pattern.num_edges > 0
+        assert is_connected(pattern)
+
+    def test_surrogate_density_resembles_paper(self):
+        # Structural surrogates should have clearly more nonzeros per row than
+        # the power-network surrogate, as in the real collections.
+        shell, shell_spec = load_problem("BCSSTK29", scale=0.05)
+        power, power_spec = load_problem("POW9", scale=0.05)
+        assert shell.nnz / shell.n > 2.5 * (power.nnz / power.n)
+
+
+class TestDefaultScale:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert default_scale() == 0.5
+
+    def test_default_value(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert default_scale() == 0.125
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            default_scale()

@@ -1,0 +1,100 @@
+"""Unit tests for Rayleigh Quotient Iteration (repro.eigen.rqi)."""
+
+import numpy as np
+import pytest
+
+from repro.collections.generators import random_geometric_pattern
+from repro.collections.meshes import grid2d_pattern, path_pattern
+from repro.eigen.rqi import rayleigh_quotient, rayleigh_quotient_iteration
+from repro.graph.laplacian import laplacian_matrix
+
+
+class TestRayleighQuotient:
+    def test_eigenvector_gives_eigenvalue(self):
+        a = np.diag([1.0, 2.0, 3.0])
+        assert rayleigh_quotient(a, np.array([0.0, 1.0, 0.0])) == pytest.approx(2.0)
+
+    def test_scaling_invariant(self, grid_8x6, rng):
+        lap = laplacian_matrix(grid_8x6)
+        x = rng.standard_normal(grid_8x6.n)
+        assert rayleigh_quotient(lap, x) == pytest.approx(rayleigh_quotient(lap, 5.0 * x))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            rayleigh_quotient(np.eye(3), np.zeros(3))
+
+    def test_bounded_by_extreme_eigenvalues(self, geometric200, rng):
+        lap = laplacian_matrix(geometric200)
+        values = np.linalg.eigvalsh(lap.toarray())
+        x = rng.standard_normal(geometric200.n)
+        rho = rayleigh_quotient(lap, x)
+        assert values[0] - 1e-9 <= rho <= values[-1] + 1e-9
+
+
+class TestRQI:
+    def test_refines_perturbed_fiedler_vector(self):
+        pattern = grid2d_pattern(10, 8)
+        lap = laplacian_matrix(pattern)
+        values, vectors = np.linalg.eigh(lap.toarray())
+        exact = vectors[:, 1]
+        rng = np.random.default_rng(0)
+        # Perturb by ~5% in norm so the Rayleigh quotient stays near lambda_2
+        # (RQI converges to the eigenpair nearest its starting quotient).
+        noise = rng.standard_normal(exact.size)
+        noisy = exact + 0.05 * noise / np.linalg.norm(noise)
+        result = rayleigh_quotient_iteration(lap, noisy, tol=1e-10)
+        assert result.converged
+        assert result.eigenvalue == pytest.approx(values[1], rel=1e-6)
+        overlap = abs(np.dot(result.eigenvector, exact))
+        assert overlap == pytest.approx(1.0, abs=1e-5)
+
+    def test_cubic_convergence_few_iterations(self):
+        pattern = random_geometric_pattern(120, seed=9)
+        lap = laplacian_matrix(pattern)
+        vectors = np.linalg.eigh(lap.toarray())[1]
+        noisy = vectors[:, 1] + 0.01 * np.random.default_rng(1).standard_normal(pattern.n)
+        result = rayleigh_quotient_iteration(lap, noisy, tol=1e-9)
+        assert result.converged
+        assert result.iterations <= 3  # "one or perhaps two iterations"
+
+    def test_already_converged_returns_immediately(self, grid_8x6):
+        lap = laplacian_matrix(grid_8x6)
+        exact = np.linalg.eigh(lap.toarray())[1][:, 1]
+        result = rayleigh_quotient_iteration(lap, exact, tol=1e-8)
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_output_is_deflated_and_normalized(self, grid_8x6, rng):
+        lap = laplacian_matrix(grid_8x6)
+        result = rayleigh_quotient_iteration(lap, rng.standard_normal(grid_8x6.n), max_iter=5)
+        assert abs(result.eigenvector.sum()) < 1e-8
+        assert np.linalg.norm(result.eigenvector) == pytest.approx(1.0, abs=1e-10)
+
+    def test_constant_start_rejected(self, path10):
+        lap = laplacian_matrix(path10)
+        with pytest.raises(ValueError):
+            rayleigh_quotient_iteration(lap, np.ones(10))
+
+    def test_shape_mismatch_rejected(self, path10):
+        with pytest.raises(ValueError):
+            rayleigh_quotient_iteration(laplacian_matrix(path10), np.ones(4))
+
+    def test_dense_matrix_supported(self):
+        pattern = path_pattern(12)
+        lap = laplacian_matrix(pattern).toarray()
+        vectors = np.linalg.eigh(lap)[1]
+        noisy = vectors[:, 1] + 0.05 * np.random.default_rng(2).standard_normal(12)
+        result = rayleigh_quotient_iteration(lap, noisy, tol=1e-9)
+        assert result.converged
+
+    def test_improves_residual_from_random_start(self, geometric200, rng):
+        # From a random start RQI heads for *an* eigenpair, not necessarily
+        # the Fiedler pair; it must at least improve the eigen-residual.
+        lap = laplacian_matrix(geometric200)
+        x0 = rng.standard_normal(geometric200.n)
+        x0 -= x0.mean()
+        x0 /= np.linalg.norm(x0)
+        rho0 = rayleigh_quotient(lap, x0)
+        initial_residual = np.linalg.norm(lap @ x0 - rho0 * x0)
+        result = rayleigh_quotient_iteration(lap, x0, max_iter=15)
+        assert result.residual_norm < initial_residual

@@ -1,0 +1,101 @@
+"""Unit tests for the exact tiny-case optima (repro.envelope.optimal)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.collections.meshes import (
+    complete_pattern,
+    cycle_pattern,
+    path_pattern,
+    star_pattern,
+)
+from repro.envelope.bounds import envelope_size_bounds
+from repro.envelope.metrics import bandwidth, envelope_size
+from repro.envelope.optimal import minimum_bandwidth, minimum_envelope_size
+from repro.orderings.registry import ORDERING_ALGORITHMS
+from repro.sparse.pattern import SymmetricPattern
+from tests.conftest import small_connected_patterns
+
+
+def _brute_force_minimum(pattern, metric):
+    best = None
+    for perm in itertools.permutations(range(pattern.n)):
+        value = metric(pattern, np.asarray(perm))
+        best = value if best is None else min(best, value)
+    return best
+
+
+class TestExactOptima:
+    def test_path_minimum_envelope(self):
+        result = minimum_envelope_size(path_pattern(7))
+        assert result.value == 6
+        assert envelope_size(path_pattern(7), result.perm) == 6
+
+    def test_cycle_minimum_envelope(self):
+        # C_n: the best ordering walks around the cycle; Esize = 2(n-1) - 1... verify by brute force
+        pattern = cycle_pattern(6)
+        expected = _brute_force_minimum(pattern, envelope_size)
+        assert minimum_envelope_size(pattern).value == expected
+
+    def test_star_minimum_envelope(self):
+        # star S_n: best puts the centre in the middle; verify by brute force for n=6
+        pattern = star_pattern(6)
+        expected = _brute_force_minimum(pattern, envelope_size)
+        result = minimum_envelope_size(pattern)
+        assert result.value == expected
+
+    def test_complete_graph_any_order(self):
+        pattern = complete_pattern(5)
+        assert minimum_envelope_size(pattern).value == sum(range(5))
+
+    def test_path_minimum_bandwidth(self):
+        assert minimum_bandwidth(path_pattern(8)).value == 1
+
+    def test_cycle_minimum_bandwidth(self):
+        assert minimum_bandwidth(cycle_pattern(7)).value == 2
+
+    def test_returned_perm_attains_value(self):
+        pattern = cycle_pattern(7)
+        result = minimum_bandwidth(pattern)
+        assert bandwidth(pattern, result.perm) == result.value
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(ValueError, match="exact search"):
+            minimum_envelope_size(path_pattern(20))
+
+    def test_empty_graph(self):
+        result = minimum_envelope_size(SymmetricPattern.empty(4))
+        assert result.value == 0
+
+
+class TestHeuristicsAgainstOptimum:
+    @given(small_connected_patterns(min_n=3, max_n=8))
+    @settings(max_examples=20, deadline=None)
+    def test_heuristics_never_beat_the_optimum(self, pattern):
+        optimum = minimum_envelope_size(pattern).value
+        for name in ("spectral", "rcm", "gps", "gk", "sloan"):
+            ordering = ORDERING_ALGORITHMS[name](pattern)
+            assert envelope_size(pattern, ordering.perm) >= optimum
+
+    @given(small_connected_patterns(min_n=3, max_n=8))
+    @settings(max_examples=20, deadline=None)
+    def test_spectral_lower_bound_below_optimum(self, pattern):
+        optimum = minimum_envelope_size(pattern).value
+        lower, upper = envelope_size_bounds(pattern)
+        assert lower <= optimum + 1e-6
+        assert optimum <= upper + 1e-6
+
+    @given(small_connected_patterns(min_n=3, max_n=7))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_matches_brute_force(self, pattern):
+        assert minimum_envelope_size(pattern).value == _brute_force_minimum(
+            pattern, envelope_size
+        )
+
+    @given(small_connected_patterns(min_n=3, max_n=7))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_bandwidth_matches_brute_force(self, pattern):
+        assert minimum_bandwidth(pattern).value == _brute_force_minimum(pattern, bandwidth)

@@ -1,0 +1,90 @@
+"""Unit tests for the envelope LDL^T factorization (repro.factor.ldlt)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.collections.meshes import grid2d_pattern
+from repro.factor.cholesky import envelope_cholesky
+from repro.factor.ldlt import envelope_ldlt
+from repro.factor.storage import EnvelopeStorage
+from repro.orderings.cuthill_mckee import rcm_ordering
+
+
+def _indefinite_matrix():
+    """A symmetric indefinite matrix whose leading minors are nonsingular."""
+    dense = np.array(
+        [
+            [4.0, 1.0, 0.0, 0.0],
+            [1.0, -3.0, 2.0, 0.0],
+            [0.0, 2.0, 5.0, 1.0],
+            [0.0, 0.0, 1.0, -2.0],
+        ]
+    )
+    return sp.csr_matrix(dense)
+
+
+class TestEnvelopeLDLT:
+    def test_reconstructs_spd_matrix(self, spd_grid_matrix):
+        ldlt = envelope_ldlt(spd_grid_matrix)
+        l_dense = np.tril(ldlt.factor.to_dense(symmetric=False), -1) + np.eye(ldlt.n)
+        reconstructed = l_dense @ np.diag(ldlt.d) @ l_dense.T
+        np.testing.assert_allclose(reconstructed, spd_grid_matrix.toarray(), atol=1e-9)
+
+    def test_agrees_with_cholesky_on_spd(self, spd_grid_matrix):
+        ldlt = envelope_ldlt(spd_grid_matrix)
+        chol = envelope_cholesky(spd_grid_matrix)
+        # D must equal the squared Cholesky diagonal.
+        np.testing.assert_allclose(ldlt.d, chol.diagonal() ** 2, rtol=1e-10)
+
+    def test_solve_spd(self, spd_grid_matrix, rng):
+        x_true = rng.standard_normal(spd_grid_matrix.shape[0])
+        b = spd_grid_matrix @ x_true
+        ldlt = envelope_ldlt(spd_grid_matrix)
+        np.testing.assert_allclose(ldlt.solve(b), x_true, atol=1e-8)
+
+    def test_indefinite_matrix_factors_and_solves(self, rng):
+        a = _indefinite_matrix()
+        ldlt = envelope_ldlt(a)
+        x_true = rng.standard_normal(4)
+        np.testing.assert_allclose(ldlt.solve(a @ x_true), x_true, atol=1e-10)
+
+    def test_inertia_matches_eigenvalues(self):
+        a = _indefinite_matrix()
+        ldlt = envelope_ldlt(a)
+        eigenvalues = np.linalg.eigvalsh(a.toarray())
+        positive, negative, zero = ldlt.inertia
+        assert positive == int(np.sum(eigenvalues > 0))
+        assert negative == int(np.sum(eigenvalues < 0))
+        assert zero == 0
+
+    def test_log_abs_determinant(self):
+        a = _indefinite_matrix()
+        ldlt = envelope_ldlt(a)
+        _, logdet = np.linalg.slogdet(a.toarray())
+        assert ldlt.log_abs_determinant() == pytest.approx(logdet, rel=1e-10)
+
+    def test_with_permutation(self, grid_8x6, spd_grid_matrix, rng):
+        ordering = rcm_ordering(grid_8x6)
+        ldlt = envelope_ldlt(spd_grid_matrix, perm=ordering.perm)
+        permuted = spd_grid_matrix[ordering.perm][:, ordering.perm]
+        x_true = rng.standard_normal(grid_8x6.n)
+        np.testing.assert_allclose(ldlt.solve(permuted @ x_true), x_true, atol=1e-8)
+
+    def test_zero_pivot_raises(self):
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(np.linalg.LinAlgError):
+            envelope_ldlt(a)
+
+    def test_existing_storage_not_clobbered(self, spd_grid_matrix):
+        storage = EnvelopeStorage.from_matrix(spd_grid_matrix)
+        envelope_ldlt(storage)
+        np.testing.assert_allclose(storage.to_dense(), spd_grid_matrix.toarray())
+
+    def test_rhs_validation(self, spd_grid_matrix):
+        ldlt = envelope_ldlt(spd_grid_matrix)
+        with pytest.raises(ValueError):
+            ldlt.solve(np.ones(2))
+
+    def test_operations_counted(self, spd_grid_matrix):
+        assert envelope_ldlt(spd_grid_matrix).operations > 0

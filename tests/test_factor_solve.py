@@ -1,0 +1,53 @@
+"""Unit tests for the one-call envelope solve (repro.factor.solve)."""
+
+import numpy as np
+import pytest
+
+from repro.factor.solve import envelope_solve
+from repro.orderings.spectral import spectral_ordering
+from repro.orderings.cuthill_mckee import rcm_ordering
+
+
+class TestEnvelopeSolve:
+    def test_natural_order(self, spd_grid_matrix, rng):
+        x_true = rng.standard_normal(spd_grid_matrix.shape[0])
+        b = spd_grid_matrix @ x_true
+        result = envelope_solve(spd_grid_matrix, b)
+        np.testing.assert_allclose(result.x, x_true, atol=1e-8)
+        assert result.residual_norm < 1e-8
+        assert result.ordering is None
+
+    def test_with_spectral_ordering(self, grid_8x6, spd_grid_matrix, rng):
+        ordering = spectral_ordering(grid_8x6, method="dense")
+        x_true = rng.standard_normal(grid_8x6.n)
+        b = spd_grid_matrix @ x_true
+        result = envelope_solve(spd_grid_matrix, b, ordering=ordering)
+        np.testing.assert_allclose(result.x, x_true, atol=1e-8)
+        assert result.ordering is ordering
+
+    def test_with_rcm_ordering(self, grid_8x6, spd_grid_matrix, rng):
+        ordering = rcm_ordering(grid_8x6)
+        b = rng.standard_normal(grid_8x6.n)
+        result = envelope_solve(spd_grid_matrix, b, ordering=ordering)
+        np.testing.assert_allclose(spd_grid_matrix @ result.x, b, atol=1e-8)
+
+    def test_solution_independent_of_ordering(self, grid_8x6, spd_grid_matrix, rng):
+        b = rng.standard_normal(grid_8x6.n)
+        natural = envelope_solve(spd_grid_matrix, b).x
+        reordered = envelope_solve(spd_grid_matrix, b, ordering=rcm_ordering(grid_8x6)).x
+        np.testing.assert_allclose(natural, reordered, atol=1e-8)
+
+    def test_dense_input(self, spd_grid_matrix, rng):
+        b = rng.standard_normal(spd_grid_matrix.shape[0])
+        result = envelope_solve(spd_grid_matrix.toarray(), b)
+        assert result.residual_norm < 1e-8
+
+    def test_rhs_shape_validation(self, spd_grid_matrix):
+        with pytest.raises(ValueError):
+            envelope_solve(spd_grid_matrix, np.ones(2))
+
+    def test_factorization_exposed(self, spd_grid_matrix, rng):
+        b = rng.standard_normal(spd_grid_matrix.shape[0])
+        result = envelope_solve(spd_grid_matrix, b)
+        assert result.factorization.operations > 0
+        assert result.factorization.n == spd_grid_matrix.shape[0]

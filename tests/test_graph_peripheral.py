@@ -1,0 +1,90 @@
+"""Unit tests for repro.graph.peripheral."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.collections.meshes import grid2d_pattern, path_pattern, star_pattern
+from repro.graph.peripheral import (
+    pseudo_diameter,
+    pseudo_peripheral_node,
+    spectral_pseudo_peripheral_node,
+)
+from repro.graph.traversal import breadth_first_levels, distance_from
+from tests.conftest import small_connected_patterns
+
+
+class TestPseudoPeripheralNode:
+    def test_path_finds_an_endpoint(self, path10):
+        node, structure = pseudo_peripheral_node(path10)
+        assert node in (0, 9)
+        assert structure.height == 9
+
+    def test_star_any_leaf_is_peripheral(self, star9):
+        node, structure = pseudo_peripheral_node(star9)
+        assert structure.height >= 1
+
+    def test_grid_reaches_a_corner_distance(self):
+        grid = grid2d_pattern(7, 11)
+        node, structure = pseudo_peripheral_node(grid)
+        # eccentricity of a corner of a 7x11 grid is 6 + 10 = 16
+        assert structure.height >= 14  # pseudo-peripheral: close to the true diameter
+
+    def test_start_hint_respected(self, path10):
+        node, structure = pseudo_peripheral_node(path10, start=5)
+        assert structure.height == 9
+
+    def test_returns_structure_rooted_at_node(self, grid_8x6):
+        node, structure = pseudo_peripheral_node(grid_8x6)
+        reference = breadth_first_levels(grid_8x6, node)
+        assert structure.height == reference.height
+
+
+class TestPseudoDiameter:
+    def test_path_endpoints(self, path10):
+        u, v, su, sv = pseudo_diameter(path10)
+        assert {u, v} == {0, 9}
+        assert su.height == 9 and sv.height == 9
+
+    def test_endpoints_are_distant(self):
+        grid = grid2d_pattern(9, 5)
+        u, v, su, sv = pseudo_diameter(grid)
+        dist = distance_from(grid, u)
+        true_diameter = 8 + 4
+        assert dist[v] >= true_diameter - 2
+
+    def test_distinct_endpoints(self, cycle12):
+        u, v, _, _ = pseudo_diameter(cycle12)
+        assert u != v
+
+
+class TestSpectralPseudoPeripheral:
+    def test_path_returns_endpointish_vertex(self, path10):
+        node = spectral_pseudo_peripheral_node(path10)
+        ecc = breadth_first_levels(path10, node).height
+        assert ecc >= 7  # close to the true eccentricity 9
+
+    def test_empty_adjacency(self):
+        from repro.sparse.pattern import SymmetricPattern
+
+        assert spectral_pseudo_peripheral_node(SymmetricPattern.empty(3)) == 0
+
+
+class TestPeripheralProperties:
+    @given(small_connected_patterns(min_n=2))
+    @settings(max_examples=25, deadline=None)
+    def test_eccentricity_at_least_half_diameter(self, pattern):
+        """A pseudo-peripheral node's eccentricity is >= radius >= diameter/2."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(pattern.n))
+        graph.add_edges_from(pattern.edges())
+        diameter = nx.diameter(graph)
+        _, structure = pseudo_peripheral_node(pattern)
+        assert structure.height * 2 >= diameter
+
+    @given(small_connected_patterns(min_n=2))
+    @settings(max_examples=25, deadline=None)
+    def test_structure_covers_graph(self, pattern):
+        _, structure = pseudo_peripheral_node(pattern)
+        assert structure.num_reached == pattern.n

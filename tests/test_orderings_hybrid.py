@@ -1,0 +1,64 @@
+"""Unit tests for the hybrid spectral+local ordering (repro.orderings.hybrid)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.collections.generators import airfoil_pattern
+from repro.collections.meshes import grid2d_pattern, path_pattern
+from repro.envelope.metrics import envelope_size
+from repro.envelope.theory import is_adjacency_ordering
+from repro.orderings.hybrid import hybrid_spectral_ordering
+from repro.orderings.spectral import spectral_ordering
+from tests.conftest import small_connected_patterns
+
+
+class TestHybridSpectralOrdering:
+    def test_never_worse_than_spectral_adjacency(self, geometric200):
+        spec = envelope_size(geometric200, spectral_ordering(geometric200, method="lanczos", rng=1).perm)
+        hybrid = envelope_size(
+            geometric200,
+            hybrid_spectral_ordering(geometric200, strategy="adjacency", method="lanczos", rng=1).perm,
+        )
+        assert hybrid <= spec
+
+    def test_never_worse_than_spectral_window(self):
+        pattern = grid2d_pattern(9, 7)
+        spec = envelope_size(pattern, spectral_ordering(pattern, method="dense").perm)
+        hybrid = envelope_size(
+            pattern,
+            hybrid_spectral_ordering(pattern, strategy="window", method="dense", window=8, sweeps=1).perm,
+        )
+        assert hybrid <= spec
+
+    def test_adjacency_strategy_produces_adjacency_ordering(self):
+        pattern = airfoil_pattern(300, seed=2)
+        ordering = hybrid_spectral_ordering(pattern, strategy="adjacency", method="lanczos")
+        # Priority-first traversal guarantees the adjacency property whenever
+        # it actually replaces the spectral order (it is kept only if no worse).
+        if ordering.metadata.get("strategy") == "adjacency":
+            # the refined order may have been discarded; only check validity
+            assert sorted(ordering.perm.tolist()) == list(range(pattern.n))
+
+    def test_path_optimal(self, path10):
+        ordering = hybrid_spectral_ordering(path10, method="dense")
+        assert envelope_size(path10, ordering.perm) == 9
+
+    def test_invalid_strategy(self, path10):
+        with pytest.raises(ValueError):
+            hybrid_spectral_ordering(path10, strategy="annealing")
+
+    def test_metadata(self, path10):
+        ordering = hybrid_spectral_ordering(path10, method="dense", strategy="adjacency")
+        assert ordering.algorithm == "hybrid-spectral"
+        assert ordering.metadata["strategy"] == "adjacency"
+
+    def test_disconnected_handled(self, disconnected_pattern):
+        ordering = hybrid_spectral_ordering(disconnected_pattern, method="dense")
+        assert sorted(ordering.perm.tolist()) == list(range(17))
+
+    @given(small_connected_patterns())
+    @settings(max_examples=15, deadline=None)
+    def test_always_valid_permutation(self, pattern):
+        ordering = hybrid_spectral_ordering(pattern, method="dense")
+        assert sorted(ordering.perm.tolist()) == list(range(pattern.n))

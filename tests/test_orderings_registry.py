@@ -1,0 +1,39 @@
+"""Unit tests for the ordering-algorithm registry (repro.orderings.registry)."""
+
+import pytest
+
+from repro.collections.meshes import grid2d_pattern
+from repro.orderings.base import Ordering
+from repro.orderings.registry import (
+    ORDERING_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    get_ordering_algorithm,
+)
+
+
+class TestRegistry:
+    def test_paper_algorithms_all_registered(self):
+        assert set(PAPER_ALGORITHMS) <= set(ORDERING_ALGORITHMS)
+
+    def test_paper_algorithm_order_matches_tables(self):
+        assert PAPER_ALGORITHMS == ("spectral", "gk", "gps", "rcm")
+
+    def test_lookup_case_insensitive(self):
+        assert get_ordering_algorithm("RCM") is ORDERING_ALGORITHMS["rcm"]
+        assert get_ordering_algorithm(" Spectral ") is ORDERING_ALGORITHMS["spectral"]
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="valid names"):
+            get_ordering_algorithm("minimum-degree")
+
+    @pytest.mark.parametrize("name", sorted(ORDERING_ALGORITHMS))
+    def test_every_algorithm_returns_valid_ordering(self, name):
+        pattern = grid2d_pattern(6, 5)
+        ordering = ORDERING_ALGORITHMS[name](pattern)
+        assert isinstance(ordering, Ordering)
+        assert sorted(ordering.perm.tolist()) == list(range(pattern.n))
+
+    def test_identity_entry(self):
+        pattern = grid2d_pattern(4, 4)
+        ordering = ORDERING_ALGORITHMS["identity"](pattern)
+        assert ordering.is_identity()

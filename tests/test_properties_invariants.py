@@ -1,0 +1,118 @@
+"""Cross-cutting property-based tests on the library's core invariants.
+
+These hypothesis tests tie several subsystems together: every ordering
+algorithm must produce valid permutations whose envelope parameters obey the
+Section 2 relations, the Fiedler machinery must respect the Laplacian
+identities, and the envelope factorization must agree with dense linear
+algebra on arbitrary connected structures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.envelope.bounds import theorem_2_1_relations, two_sum_lower_bound
+from repro.envelope.metrics import bandwidth, envelope_size, envelope_work, frontwidths
+from repro.envelope.sums import two_sum
+from repro.envelope.theory import closest_permutation_vector
+from repro.factor.cholesky import envelope_cholesky
+from repro.graph.laplacian import laplacian_matrix
+from repro.orderings.cuthill_mckee import rcm_ordering
+from repro.orderings.gibbs_king import gibbs_king_ordering
+from repro.orderings.gps import gps_ordering
+from repro.orderings.sloan import sloan_ordering
+from repro.orderings.spectral import spectral_ordering
+from tests.conftest import small_connected_patterns, small_patterns
+
+_ALGORITHMS = {
+    "spectral": lambda p: spectral_ordering(p, method="dense"),
+    "rcm": rcm_ordering,
+    "gps": gps_ordering,
+    "gk": gibbs_king_ordering,
+    "sloan": sloan_ordering,
+}
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestOrderingInvariants:
+    @pytest.mark.parametrize("name", sorted(_ALGORITHMS))
+    @given(pattern=small_patterns())
+    @settings(**_SETTINGS)
+    def test_orderings_are_permutations(self, name, pattern):
+        ordering = _ALGORITHMS[name](pattern)
+        assert sorted(ordering.perm.tolist()) == list(range(pattern.n))
+
+    @pytest.mark.parametrize("name", sorted(_ALGORITHMS))
+    @given(pattern=small_connected_patterns())
+    @settings(**_SETTINGS)
+    def test_envelope_relations_hold_for_computed_orderings(self, name, pattern):
+        ordering = _ALGORITHMS[name](pattern)
+        assert theorem_2_1_relations(pattern, ordering.perm).all_hold
+
+    @given(pattern=small_connected_patterns())
+    @settings(**_SETTINGS)
+    def test_bandwidth_bounded_by_envelope(self, pattern):
+        ordering = rcm_ordering(pattern)
+        assert bandwidth(pattern, ordering.perm) <= max(1, envelope_size(pattern, ordering.perm))
+
+    @given(pattern=small_connected_patterns())
+    @settings(**_SETTINGS)
+    def test_frontwidth_identity_for_spectral(self, pattern):
+        ordering = spectral_ordering(pattern, method="dense")
+        assert frontwidths(pattern, ordering.perm).sum() == envelope_size(pattern, ordering.perm)
+
+
+class TestSpectralInvariants:
+    @given(pattern=small_connected_patterns(min_n=3))
+    @settings(**_SETTINGS)
+    def test_two_sum_lower_bound_respected_by_spectral(self, pattern):
+        lap = laplacian_matrix(pattern).toarray()
+        lambda2 = float(np.linalg.eigvalsh(lap)[1])
+        bound = two_sum_lower_bound(pattern, lambda2=lambda2)
+        ordering = spectral_ordering(pattern, method="dense")
+        assert two_sum(pattern, ordering.perm) >= bound - 1e-6
+
+    @given(pattern=small_connected_patterns(min_n=3))
+    @settings(**_SETTINGS)
+    def test_closest_permutation_vector_is_sorted_like_input(self, pattern):
+        lap = laplacian_matrix(pattern).toarray()
+        vec = np.linalg.eigh(lap)[1][:, 1]
+        closest = closest_permutation_vector(vec)
+        # the ranking induced by the closest vector must follow the input ranking
+        assert np.array_equal(np.argsort(closest, kind="stable"), np.argsort(vec, kind="stable"))
+
+
+class TestFactorizationInvariants:
+    @given(pattern=small_connected_patterns(min_n=2))
+    @settings(**_SETTINGS)
+    def test_envelope_cholesky_matches_dense(self, pattern):
+        matrix = pattern.to_scipy("spd")
+        chol = envelope_cholesky(matrix)
+        reconstructed = np.tril(chol.factor.to_dense(symmetric=False))
+        np.testing.assert_allclose(
+            reconstructed @ reconstructed.T, matrix.toarray(), atol=1e-8
+        )
+
+    @given(pattern=small_connected_patterns(min_n=2))
+    @settings(**_SETTINGS)
+    def test_solve_accuracy_under_reordering(self, pattern):
+        matrix = pattern.to_scipy("spd")
+        ordering = rcm_ordering(pattern)
+        chol = envelope_cholesky(matrix, perm=ordering.perm)
+        rng = np.random.default_rng(0)
+        x_true = rng.standard_normal(pattern.n)
+        permuted = matrix[ordering.perm][:, ordering.perm]
+        b = permuted @ x_true
+        np.testing.assert_allclose(chol.solve(b), x_true, atol=1e-6)
+
+    @given(pattern=small_connected_patterns(min_n=2))
+    @settings(**_SETTINGS)
+    def test_work_estimate_dominates_envelope_work(self, pattern):
+        from repro.factor.cholesky import estimate_factor_work
+
+        assert estimate_factor_work(pattern) >= 0.5 * envelope_work(pattern)

@@ -1,0 +1,70 @@
+"""Unit tests for the conjugate-gradient solver (repro.solvers.cg)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.ic import jacobi_preconditioner
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, spd_grid_matrix, rng):
+        x_true = rng.standard_normal(spd_grid_matrix.shape[0])
+        b = spd_grid_matrix @ x_true
+        result = conjugate_gradient(spd_grid_matrix, b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+
+    def test_residual_history_decreases_overall(self, spd_grid_matrix, rng):
+        b = rng.standard_normal(spd_grid_matrix.shape[0])
+        result = conjugate_gradient(spd_grid_matrix, b, tol=1e-10)
+        assert result.residual_norms[-1] < result.residual_norms[0]
+        assert len(result.residual_norms) == result.iterations + 1
+
+    def test_zero_rhs_converges_immediately(self, spd_grid_matrix):
+        result = conjugate_gradient(spd_grid_matrix, np.zeros(spd_grid_matrix.shape[0]))
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_exact_convergence_in_n_iterations_small(self):
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((6, 6))
+        a = m @ m.T + 6 * np.eye(6)
+        b = rng.standard_normal(6)
+        result = conjugate_gradient(a, b, tol=1e-12)
+        assert result.converged
+        assert result.iterations <= 6 + 1
+
+    def test_initial_guess_used(self, spd_grid_matrix, rng):
+        x_true = rng.standard_normal(spd_grid_matrix.shape[0])
+        b = spd_grid_matrix @ x_true
+        result = conjugate_gradient(spd_grid_matrix, b, x0=x_true.copy(), tol=1e-10)
+        assert result.iterations == 0
+
+    def test_preconditioner_reduces_iterations(self, spd_grid_matrix, rng):
+        # scale the system badly so Jacobi actually helps
+        n = spd_grid_matrix.shape[0]
+        scale = np.linspace(1.0, 1000.0, n)
+        import scipy.sparse as sp
+
+        d = sp.diags(np.sqrt(scale))
+        a = (d @ spd_grid_matrix @ d).tocsr()
+        b = rng.standard_normal(n)
+        plain = conjugate_gradient(a, b, tol=1e-8)
+        jacobi = conjugate_gradient(a, b, preconditioner=jacobi_preconditioner(a), tol=1e-8)
+        assert jacobi.converged
+        assert jacobi.iterations < plain.iterations
+
+    def test_max_iter_respected(self, spd_grid_matrix, rng):
+        b = rng.standard_normal(spd_grid_matrix.shape[0])
+        result = conjugate_gradient(spd_grid_matrix, b, tol=1e-14, max_iter=3)
+        assert result.iterations <= 3
+
+    def test_shape_validation(self, spd_grid_matrix):
+        with pytest.raises(ValueError):
+            conjugate_gradient(spd_grid_matrix, np.ones(3))
+
+    def test_final_relative_residual(self, spd_grid_matrix, rng):
+        b = rng.standard_normal(spd_grid_matrix.shape[0])
+        result = conjugate_gradient(spd_grid_matrix, b, tol=1e-9)
+        assert result.final_relative_residual <= 1e-9 * 1.01

@@ -1,0 +1,111 @@
+"""Unit tests for the IC(0) preconditioner (repro.solvers.ic) and the PCG experiment."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.collections.generators import random_geometric_pattern
+from repro.orderings.cuthill_mckee import rcm_ordering
+from repro.orderings.spectral import spectral_ordering
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.experiment import preconditioned_cg_experiment
+from repro.solvers.ic import incomplete_cholesky, jacobi_preconditioner
+
+
+class TestIncompleteCholesky:
+    def test_pattern_preserved(self, spd_grid_matrix):
+        ic = incomplete_cholesky(spd_grid_matrix)
+        lower = sp.tril(spd_grid_matrix)
+        assert ic.nnz() == lower.nnz
+        assert ic.shifted == 0.0
+
+    def test_exact_on_tridiagonal(self):
+        # IC(0) of a tridiagonal SPD matrix is the exact Cholesky factor
+        # (the envelope has no positions to drop).
+        n = 12
+        a = sp.diags([-1.0 * np.ones(n - 1), 2.5 * np.ones(n), -1.0 * np.ones(n - 1)],
+                     [-1, 0, 1], format="csr")
+        ic = incomplete_cholesky(a)
+        exact = np.linalg.cholesky(a.toarray())
+        np.testing.assert_allclose(ic.factor.toarray(), exact, atol=1e-12)
+
+    def test_apply_is_spd_operation(self, spd_grid_matrix, rng):
+        ic = incomplete_cholesky(spd_grid_matrix)
+        r = rng.standard_normal(spd_grid_matrix.shape[0])
+        z = ic.apply(r)
+        assert np.dot(r, z) > 0  # M^{-1} must be positive definite
+
+    def test_preconditions_cg(self, grid_12x9, rng):
+        matrix = grid_12x9.to_scipy("spd")
+        b = rng.standard_normal(grid_12x9.n)
+        plain = conjugate_gradient(matrix, b, tol=1e-9)
+        ic = incomplete_cholesky(matrix)
+        pcg = conjugate_gradient(matrix, b, preconditioner=ic.apply, tol=1e-9)
+        assert pcg.converged
+        assert pcg.iterations <= plain.iterations
+        np.testing.assert_allclose(matrix @ pcg.x, b, atol=1e-6)
+
+    def test_ordering_argument(self, grid_8x6, spd_grid_matrix):
+        ordering = rcm_ordering(grid_8x6)
+        ic = incomplete_cholesky(spd_grid_matrix, perm=ordering.perm)
+        assert ic.n == grid_8x6.n
+
+    def test_nonpositive_diagonal_rejected(self):
+        a = sp.csr_matrix(np.array([[1.0, 0.5], [0.5, -1.0]]))
+        with pytest.raises(np.linalg.LinAlgError):
+            incomplete_cholesky(a)
+
+    def test_shifting_rescues_difficult_matrix(self):
+        # A barely-SPD matrix on which plain IC(0) breaks down but shifting works.
+        n = 30
+        rng = np.random.default_rng(5)
+        pattern = random_geometric_pattern(n, radius=0.45, seed=5)
+        adj = pattern.to_scipy("adjacency")
+        degrees = np.asarray(adj.sum(axis=1)).ravel()
+        a = (sp.diags(degrees + 1e-3) - adj).tocsr()  # nearly singular SPD
+        ic = incomplete_cholesky(a)
+        assert np.isfinite(ic.factor.data).all()
+
+
+class TestJacobi:
+    def test_apply(self, spd_grid_matrix, rng):
+        apply_m = jacobi_preconditioner(spd_grid_matrix)
+        r = rng.standard_normal(spd_grid_matrix.shape[0])
+        np.testing.assert_allclose(apply_m(r), r / spd_grid_matrix.diagonal())
+
+    def test_zero_diagonal_rejected(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            jacobi_preconditioner(sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]])))
+
+
+class TestPcgExperiment:
+    def test_solution_correct_under_each_ordering(self, grid_12x9, rng):
+        matrix = grid_12x9.to_scipy("spd")
+        x_true = rng.standard_normal(grid_12x9.n)
+        b = matrix @ x_true
+        for ordering in (None, rcm_ordering(grid_12x9), spectral_ordering(grid_12x9, method="dense")):
+            result = preconditioned_cg_experiment(matrix, b, ordering, tol=1e-10)
+            np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+            assert result.cg.converged
+
+    def test_preconditioner_choices(self, grid_8x6, rng):
+        matrix = grid_8x6.to_scipy("spd")
+        b = rng.standard_normal(grid_8x6.n)
+        iterations = {}
+        for name in ("none", "jacobi", "ic0"):
+            result = preconditioned_cg_experiment(matrix, b, None, preconditioner=name, tol=1e-9)
+            iterations[name] = result.iterations
+            assert result.preconditioner == name
+        assert iterations["ic0"] <= iterations["none"]
+
+    def test_invalid_preconditioner(self, grid_8x6):
+        matrix = grid_8x6.to_scipy("spd")
+        with pytest.raises(ValueError):
+            preconditioned_cg_experiment(matrix, np.ones(grid_8x6.n), None, preconditioner="ilu")
+
+    def test_ordering_name_recorded(self, grid_8x6, rng):
+        matrix = grid_8x6.to_scipy("spd")
+        b = rng.standard_normal(grid_8x6.n)
+        result = preconditioned_cg_experiment(matrix, b, rcm_ordering(grid_8x6))
+        assert result.ordering_name == "rcm"
+        assert result.setup_time >= 0 and result.solve_time >= 0

@@ -1,0 +1,108 @@
+"""Unit tests for the Harwell-Boeing reader/writer (repro.sparse.io_hb)."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.io_hb import read_harwell_boeing, write_harwell_boeing, _parse_fortran_format
+
+
+def _spd_matrix(n=15, seed=0):
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=0.15, random_state=np.random.RandomState(seed), format="csr")
+    a = a + a.T + sp.eye(n) * n
+    return a.tocsr()
+
+
+class TestFortranFormatParsing:
+    @pytest.mark.parametrize(
+        "fmt, expected",
+        [
+            ("(16I5)", (16, 5, "I")),
+            ("(10I8)", (10, 8, "I")),
+            ("(5E16.8)", (5, 16, "E")),
+            ("(4D20.12)", (4, 20, "D")),
+            ("(3F20.16)", (3, 20, "F")),
+            ("16I5", (16, 5, "I")),
+            ("(1P5E16.9)", (5, 16, "E")),
+        ],
+    )
+    def test_common_formats(self, fmt, expected):
+        assert _parse_fortran_format(fmt) == expected
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            _parse_fortran_format("(ABC)")
+
+
+class TestRoundTrip:
+    def test_rsa_roundtrip(self, tmp_path):
+        a = _spd_matrix()
+        path = tmp_path / "m.rsa"
+        write_harwell_boeing(path, a, title="round trip test", key="TEST")
+        b = read_harwell_boeing(path)
+        np.testing.assert_allclose(b.toarray(), a.toarray(), rtol=1e-12)
+
+    def test_psa_pattern_roundtrip(self, tmp_path):
+        a = _spd_matrix(seed=2)
+        path = tmp_path / "m.psa"
+        write_harwell_boeing(path, a, pattern_only=True)
+        b = read_harwell_boeing(path)
+        np.testing.assert_array_equal(b.toarray() != 0, a.toarray() != 0)
+
+    def test_header_fields(self, tmp_path):
+        a = _spd_matrix(seed=3)
+        path = tmp_path / "m.rsa"
+        write_harwell_boeing(path, a, title="my title", key="KEY12345")
+        matrix, header = read_harwell_boeing(path, return_header=True)
+        assert header.title == "my title"
+        assert header.key == "KEY12345"
+        assert header.mxtype == "RSA"
+        assert header.nrow == a.shape[0]
+        assert header.nnzero == sp.tril(a).nnz
+
+    def test_stream_roundtrip(self):
+        a = _spd_matrix(8, seed=5)
+        buf = io.StringIO()
+        write_harwell_boeing(buf, a)
+        buf.seek(0)
+        b = read_harwell_boeing(buf)
+        np.testing.assert_allclose(b.toarray(), a.toarray(), rtol=1e-12)
+
+
+class TestUnsymmetricRead:
+    def test_rua_is_read_without_mirroring(self):
+        # Hand-built tiny RUA file: 2x2 with entries (1,1)=4, (2,1)=1, (2,2)=3.
+        lines = [
+            f"{'tiny unsymmetric':<72}{'RUA1':<8}",
+            f"{3:>14d}{1:>14d}{1:>14d}{1:>14d}{0:>14d}",
+            f"{'RUA':<3}{'':11}{2:>14d}{2:>14d}{3:>14d}{0:>14d}",
+            f"{'(10I10)':<16}{'(10I10)':<16}{'(4E24.16)':<20}{'':<20}",
+            f"{1:>10d}{3:>10d}{4:>10d}",
+            f"{1:>10d}{2:>10d}{2:>10d}",
+            f"{4.0:>24.16E}{1.0:>24.16E}{3.0:>24.16E}",
+        ]
+        matrix = read_harwell_boeing(io.StringIO("\n".join(lines) + "\n"))
+        np.testing.assert_allclose(matrix.toarray(), [[4.0, 0.0], [1.0, 3.0]])
+
+
+class TestErrors:
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_harwell_boeing(io.StringIO(""))
+
+    def test_rectangular_write_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            write_harwell_boeing(io.StringIO(), sp.csr_matrix(np.zeros((2, 3))))
+
+    def test_elemental_rejected(self):
+        lines = [
+            f"{'elemental':<72}{'KEY':<8}",
+            f"{1:>14d}{1:>14d}{0:>14d}{0:>14d}{0:>14d}",
+            f"{'RSE':<3}{'':11}{2:>14d}{2:>14d}{3:>14d}{3:>14d}",
+            f"{'(10I10)':<16}{'(10I10)':<16}{'(4E24.16)':<20}{'':<20}",
+        ]
+        with pytest.raises(ValueError, match="elemental"):
+            read_harwell_boeing(io.StringIO("\n".join(lines) + "\n"))

@@ -1,0 +1,29 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import DEFAULT_SEED, default_rng
+
+
+class TestDefaultRng:
+    def test_none_uses_default_seed(self):
+        a = default_rng(None).random(5)
+        b = default_rng(DEFAULT_SEED).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_integer_seed_is_deterministic(self):
+        a = default_rng(42).random(8)
+        b = default_rng(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = default_rng(1).random(8)
+        b = default_rng(2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert default_rng(gen) is gen
+
+    def test_returns_generator_type(self):
+        assert isinstance(default_rng(0), np.random.Generator)

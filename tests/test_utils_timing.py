@@ -1,0 +1,70 @@
+"""Unit tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Timer, timed
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        assert t.elapsed > 0.0
+        assert len(t.laps) == 1
+
+    def test_multiple_laps_accumulate(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                pass
+        assert len(t.laps) == 3
+        assert t.elapsed == pytest.approx(sum(t.laps))
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.laps == []
+
+    def test_stop_returns_lap(self):
+        t = Timer().start()
+        lap = t.stop()
+        assert lap >= 0.0
+        assert lap == t.laps[-1]
+
+
+class TestTimed:
+    def test_records_into_sink(self):
+        sink = {}
+        with timed("phase", sink):
+            time.sleep(0.001)
+        assert sink["phase"] > 0.0
+
+    def test_accumulates_same_label(self):
+        sink = {}
+        with timed("x", sink):
+            pass
+        first = sink["x"]
+        with timed("x", sink):
+            pass
+        assert sink["x"] >= first
+
+    def test_none_sink_is_allowed(self):
+        with timed("ignored", None):
+            pass  # must not raise
+
+    def test_exception_still_records(self):
+        sink = {}
+        with pytest.raises(RuntimeError):
+            with timed("boom", sink):
+                raise RuntimeError("boom")
+        assert "boom" in sink
