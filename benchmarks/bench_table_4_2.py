@@ -12,9 +12,13 @@ Run with::
 import pytest
 
 from common import TableCollector, bench_scale
+from repro.collections.registry import available_problems
 from table_harness import TABLE_COLUMNS, case_id, run_table_case, table_cases
 
-PROBLEMS = ("CAN1072", "POW9", "BLKHOLE", "DWT2680", "SSTMODEL")
+# Every registered Table 4.2 problem in the paper's row order; cells run
+# through the batch engine (repro.batch.execute_task), the same path
+# `repro suite --table 4.2` uses.
+PROBLEMS = tuple(available_problems("4.2", paper_order=True))
 
 _collector = TableCollector(
     "table_4_2.txt",

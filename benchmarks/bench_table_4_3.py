@@ -12,9 +12,13 @@ Run with::
 import pytest
 
 from common import TableCollector, bench_scale
+from repro.collections.registry import available_problems
 from table_harness import TABLE_COLUMNS, case_id, run_table_case, table_cases
 
-PROBLEMS = ("BARTH4", "SHUTTLE", "SKIRT", "PWT", "BODY", "FLAP", "IN3C")
+# Every registered Table 4.3 problem in the paper's row order; cells run
+# through the batch engine (repro.batch.execute_task), the same path
+# `repro suite --table 4.3` uses.
+PROBLEMS = tuple(available_problems("4.3", paper_order=True))
 
 _collector = TableCollector(
     "table_4_3.txt",

@@ -26,7 +26,6 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro.collections.registry import PAPER_PROBLEMS, load_problem
-from repro.envelope.metrics import envelope_statistics
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -84,18 +83,3 @@ class TableCollector:
                     cells.append(f"{str(value):>{widths[c]}}")
             lines.append("  ".join(cells))
         self.path.write_text("\n".join(lines) + "\n")
-
-
-def ordering_row(pattern, problem: str, algorithm: str, ordering, seconds: float) -> dict:
-    """One Table 4.1-4.3 style row for a computed ordering."""
-    stats = envelope_statistics(pattern, ordering.perm)
-    return {
-        "problem": problem,
-        "n": stats.n,
-        "nnz": stats.nnz,
-        "algorithm": algorithm.upper(),
-        "envelope": stats.envelope_size,
-        "bandwidth": stats.bandwidth,
-        "ework": stats.envelope_work,
-        "time_s": float(seconds),
-    }

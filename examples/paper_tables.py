@@ -9,11 +9,13 @@ matrices the paper selected.
 
 Run with::
 
-    python examples/paper_tables.py [scale] [--tables 4.1,4.2,4.3,4.4]
+    python examples/paper_tables.py [scale] [--tables 4.1,4.2,4.3,4.4] [--jobs 4]
 
 ``scale`` defaults to the value of ``REPRO_BENCH_SCALE`` or 0.125.  The full
 run at the default scale takes several minutes (the spectral and GK orderings
-dominate); pass a smaller scale (e.g. 0.03) for a quick look.
+dominate); pass a smaller scale (e.g. 0.03) for a quick look, or ``--jobs N``
+to fan the (problem, algorithm) cells out over ``N`` worker processes via the
+batch engine (:mod:`repro.batch`) — the numbers are identical to a serial run.
 """
 
 from __future__ import annotations
@@ -32,10 +34,10 @@ from repro.orderings.registry import ORDERING_ALGORITHMS
 TABLE_44_PROBLEMS = ("BCSSTK29", "BCSSTK33", "BARTH4")
 
 
-def run_table(table: str, scale: float) -> None:
+def run_table(table: str, scale: float, jobs: int = 1) -> None:
     problems = available_problems(table)
-    print(f"\n=== Table {table} (surrogates at scale {scale}) ===")
-    results = run_problem_suite(problems, scale=scale)
+    print(f"\n=== Table {table} (surrogates at scale {scale}, jobs={jobs}) ===")
+    results = run_problem_suite(problems, scale=scale, n_jobs=jobs)
     spectral_wins = 0
     for result in results:
         print()
@@ -66,6 +68,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("scale", nargs="?", type=float, default=None)
     parser.add_argument("--tables", default="4.1,4.2,4.3,4.4")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the ordering suite (batch engine)")
     args = parser.parse_args()
     scale = args.scale if args.scale is not None else default_scale()
     tables = [t.strip() for t in args.tables.split(",") if t.strip()]
@@ -74,7 +78,7 @@ def main() -> None:
         if table == "4.4":
             run_table_44(scale)
         else:
-            run_table(table, scale)
+            run_table(table, scale, jobs=args.jobs)
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.envelope.metrics import envelope_statistics
 
-__all__ = ["ComparisonRow", "comparison_table", "rank_by", "format_table"]
+__all__ = ["ComparisonRow", "comparison_table", "rank_by", "rows_from_records", "format_table"]
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,32 @@ def comparison_table(
                 envelope_work=stats.envelope_work,
                 bandwidth=stats.bandwidth,
                 run_time=float(run_times.get(name, 0.0)),
+            )
+        )
+    return rank_by(rows)
+
+
+def rows_from_records(records) -> list[ComparisonRow]:
+    """Ranked comparison rows from batch :class:`repro.batch.results.TaskRecord`s.
+
+    The adapter between the batch engine's structured results and the paper's
+    table format: failed tasks carry no metrics and are skipped (they are
+    reported separately, e.g. by ``SuiteResult.to_text``).
+    """
+    rows = []
+    for record in records:
+        if not getattr(record, "ok", False):
+            continue
+        rows.append(
+            ComparisonRow(
+                problem=record.problem,
+                algorithm=record.algorithm,
+                n=int(record.n),
+                nnz=int(record.nnz),
+                envelope_size=int(record.metrics["envelope_size"]),
+                envelope_work=int(record.metrics["envelope_work"]),
+                bandwidth=int(record.metrics["bandwidth"]),
+                run_time=float(record.time_s),
             )
         )
     return rank_by(rows)

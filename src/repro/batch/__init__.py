@@ -1,0 +1,36 @@
+"""Parallel batch-experiment engine with structured, replayable results.
+
+The paper's evaluation is a cross-product of ``{problems} x {ordering
+algorithms}``; this package decomposes it into independent tasks
+(:mod:`repro.batch.tasks`), executes them serially or over a process pool
+(:mod:`repro.batch.engine`), and bundles the outcomes into a versioned JSON
+results artifact that can be saved, diffed and regression-compared
+(:mod:`repro.batch.results`).
+
+Quick start::
+
+    from repro.batch import run_suite
+    suite = run_suite(["BARTH4", "POW9"], scale=0.02, n_jobs=4)
+    suite.save("results.json")
+    print(suite.to_text())
+
+or from the command line::
+
+    repro suite --jobs 4 --output results.json
+"""
+
+from repro.batch.engine import execute_task, run_suite, task_options
+from repro.batch.results import SCHEMA_VERSION, SuiteResult, TaskRecord
+from repro.batch.tasks import BatchTask, build_tasks, derive_seed
+
+__all__ = [
+    "BatchTask",
+    "SCHEMA_VERSION",
+    "SuiteResult",
+    "TaskRecord",
+    "build_tasks",
+    "derive_seed",
+    "execute_task",
+    "run_suite",
+    "task_options",
+]

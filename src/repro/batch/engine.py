@@ -1,0 +1,196 @@
+"""Parallel batch-experiment engine — the backend of ``repro suite``.
+
+Executes the ``{problems} x {algorithms}`` cross-product of a suite run as
+independent tasks (see :mod:`repro.batch.tasks`), either in-process
+(``n_jobs=1``) or over a :class:`concurrent.futures.ProcessPoolExecutor`.
+Results are identical in both modes: every task carries a deterministic seed,
+and patterns are rebuilt from the registry inside each worker so no shared
+mutable state is involved.
+
+One failing task never kills the suite: the exception is captured into a
+structured ``"error"`` record (type, message, traceback) and the remaining
+tasks keep running.
+
+Example
+-------
+>>> from repro.batch import run_suite
+>>> suite = run_suite(["POW9", "CAN1072"], algorithms=("rcm", "gps"),
+...                   scale=0.02, n_jobs=2)
+>>> suite.failures
+[]
+>>> _ = suite.save("results.json")    # doctest: +SKIP
+
+The equivalent CLI invocation::
+
+    repro suite POW9 CAN1072 --algorithms rcm,gps --scale 0.02 \\
+        --jobs 2 --output results.json
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from functools import lru_cache
+
+import numpy as np
+
+from repro.batch.results import SuiteResult, TaskRecord
+from repro.batch.tasks import BatchTask, build_tasks
+from repro.collections.registry import load_problem
+from repro.envelope.metrics import envelope_statistics
+from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
+from repro.utils.timing import Timer
+
+__all__ = ["execute_task", "run_suite", "task_options"]
+
+
+@lru_cache(maxsize=64)
+def _cached_pattern(problem: str, scale: float | None):
+    """Per-process cache of surrogate patterns, shared by a worker's tasks."""
+    pattern, _spec = load_problem(problem, scale=scale)
+    return pattern
+
+
+def _accepts_rng(func) -> bool:
+    try:
+        return "rng" in inspect.signature(func).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins without signatures
+        return False
+
+
+def task_options(func, task: BatchTask) -> dict:
+    """The algorithm's keyword arguments, with the task's deterministic rng
+    injected when the algorithm accepts one and the caller did not supply it."""
+    options = dict(task.options)
+    if "rng" not in options and _accepts_rng(func):
+        options["rng"] = np.random.default_rng(task.seed)
+    return options
+
+
+def execute_task(task: BatchTask, pattern=None, capture_errors: bool = True) -> TaskRecord:
+    """Run one ``(problem, algorithm)`` cell and return its :class:`TaskRecord`.
+
+    Parameters
+    ----------
+    task:
+        The cell to run.
+    pattern:
+        Pre-built matrix structure.  When ``None`` the pattern is built (and
+        memoized per process) from the registered problem generator at the
+        task's scale.
+    capture_errors:
+        When true (the batch default) any exception becomes a structured
+        ``"error"`` record; when false it propagates to the caller (the
+        behaviour of the legacy in-process runner).
+    """
+    try:
+        func = ORDERING_ALGORITHMS[task.algorithm]
+        if pattern is None:
+            pattern = _cached_pattern(task.problem, task.scale)
+        timer = Timer()
+        with timer:
+            ordering = func(pattern, **task_options(func, task))
+        stats = envelope_statistics(pattern, ordering.perm)
+        return TaskRecord(
+            problem=task.problem,
+            algorithm=task.algorithm,
+            status="ok",
+            seed=task.seed,
+            n=stats.n,
+            nnz=stats.nnz,
+            metrics=stats.as_dict(),
+            time_s=float(timer.elapsed),
+            ordering=ordering,
+        )
+    except Exception as exc:
+        if not capture_errors:
+            raise
+        return TaskRecord(
+            problem=task.problem,
+            algorithm=task.algorithm,
+            status="error",
+            seed=task.seed,
+            error={
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        )
+
+
+def run_suite(
+    problem_names,
+    algorithms=PAPER_ALGORITHMS,
+    *,
+    scale: float | None = None,
+    n_jobs: int | None = 1,
+    algorithm_options: dict | None = None,
+    base_seed: int = 0,
+    keep_orderings: bool = True,
+) -> SuiteResult:
+    """Run the full ``problems x algorithms`` suite and return a :class:`SuiteResult`.
+
+    Parameters
+    ----------
+    problem_names:
+        Registered paper-problem names (case-insensitive).
+    algorithms:
+        Registered ordering-algorithm names (default: the paper's four).
+    scale:
+        Surrogate scale (``None`` uses the registry default).
+    n_jobs:
+        Worker processes.  ``1`` (default) runs serially in-process and
+        produces bit-identical results to any parallel run; ``None`` uses
+        the CPU count.
+    algorithm_options:
+        Mapping ``algorithm name -> dict of keyword arguments``.
+    base_seed:
+        Root of the deterministic per-task seeding.
+    keep_orderings:
+        When false, the permutation objects are dropped from the records
+        (smaller in-memory result; the JSON artifact never contains them).
+
+    Raises
+    ------
+    ValueError
+        On unknown problem/algorithm names or a non-positive ``n_jobs``
+        (validated up front; a task that *raises while running* is captured
+        as a failure record instead).
+    """
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    n_jobs = int(n_jobs)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be a positive integer or None, got {n_jobs}")
+
+    problems = [str(name).strip().upper() for name in problem_names]
+    algorithms = tuple(algorithms)
+    tasks = build_tasks(
+        problems,
+        algorithms,
+        scale=scale,
+        algorithm_options=algorithm_options,
+        base_seed=base_seed,
+    )
+
+    timer = Timer()
+    with timer:
+        if n_jobs == 1 or len(tasks) <= 1:
+            records = [execute_task(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+                records = list(pool.map(execute_task, tasks, chunksize=1))
+    if not keep_orderings:
+        for record in records:
+            record.ordering = None
+    return SuiteResult(
+        problems=problems,
+        algorithms=list(algorithms),
+        scale=scale,
+        n_jobs=n_jobs,
+        base_seed=base_seed,
+        records=records,
+        wall_time_s=float(timer.elapsed),
+    )

@@ -1,0 +1,299 @@
+"""Structured, versioned results of a batch suite run.
+
+A suite run produces one :class:`TaskRecord` per ``(problem, algorithm)``
+cell — either an ``"ok"`` record carrying the full envelope statistics and
+the ordering wall time, or an ``"error"`` record carrying the captured
+exception — bundled into a :class:`SuiteResult` that can be saved, reloaded
+and regression-compared.
+
+JSON schema (version 1)
+-----------------------
+``SuiteResult.to_json()`` emits::
+
+    {
+      "schema_version": 1,
+      "engine": "repro.batch",
+      "problems": ["CAN1072", ...],
+      "algorithms": ["spectral", "gk", "gps", "rcm"],
+      "scale": 0.02,
+      "base_seed": 0,
+      "n_jobs": 4,              # timing/run-environment field (optional)
+      "wall_time_s": 1.83,      # timing field (optional)
+      "records": [
+        {
+          "problem": "CAN1072",
+          "algorithm": "rcm",
+          "status": "ok",                # or "error"
+          "seed": 2417046638,
+          "n": 171,
+          "nnz": 1042,
+          "metrics": {                   # EnvelopeStatistics.as_dict()
+            "n": 171, "nnz": 1042, "bandwidth": 18,
+            "envelope_size": 1204, "envelope_work": 13016,
+            "one_sum": ..., "two_sum": ...,
+            "max_frontwidth": ..., "mean_frontwidth": ..., "rms_frontwidth": ...
+          },
+          "time_s": 0.004,               # timing field (optional)
+          "error": null                  # or {"type", "message", "traceback"}
+        },
+        ...
+      ]
+    }
+
+Passing ``include_timing=False`` to :meth:`SuiteResult.to_dict` /
+:meth:`~SuiteResult.to_json` drops ``time_s``, ``wall_time_s`` and
+``n_jobs`` — the *canonical* form used by the golden regression tests, which
+must be byte-stable across runs and across worker counts.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SCHEMA_VERSION", "TaskRecord", "SuiteResult"]
+
+#: Version of the JSON results schema written by :meth:`SuiteResult.to_json`.
+SCHEMA_VERSION = 1
+
+_ENGINE_NAME = "repro.batch"
+
+
+@dataclass
+class TaskRecord:
+    """Outcome of one ``(problem, algorithm)`` task.
+
+    ``ordering`` holds the computed :class:`repro.orderings.base.Ordering`
+    when the record travelled in memory (including across the process pool);
+    it is never serialized to JSON, so records loaded with
+    :meth:`SuiteResult.from_json` have ``ordering=None``.
+    """
+
+    problem: str
+    algorithm: str
+    status: str = "ok"
+    seed: int = 0
+    n: int = 0
+    nnz: int = 0
+    metrics: dict = field(default_factory=dict)
+    time_s: float = 0.0
+    error: dict | None = None
+    ordering: object | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task completed without an exception."""
+        return self.status == "ok"
+
+    def to_dict(self, include_timing: bool = True) -> dict:
+        """JSON-serializable view (``ordering`` excluded by design)."""
+        payload = {
+            "problem": self.problem,
+            "algorithm": self.algorithm,
+            "status": self.status,
+            "seed": int(self.seed),
+            "n": int(self.n),
+            "nnz": int(self.nnz),
+            "metrics": copy.deepcopy(self.metrics),
+            "error": copy.deepcopy(self.error),
+        }
+        if include_timing:
+            payload["time_s"] = float(self.time_s)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskRecord":
+        return cls(
+            problem=payload["problem"],
+            algorithm=payload["algorithm"],
+            status=payload.get("status", "ok"),
+            seed=int(payload.get("seed", 0)),
+            n=int(payload.get("n", 0)),
+            nnz=int(payload.get("nnz", 0)),
+            metrics=dict(payload.get("metrics", {})),
+            time_s=float(payload.get("time_s", 0.0)),
+            error=payload.get("error"),
+        )
+
+
+@dataclass
+class SuiteResult:
+    """Results of a whole suite run, replayable via the JSON schema above."""
+
+    problems: list
+    algorithms: list
+    scale: float | None = None
+    n_jobs: int = 1
+    base_seed: int = 0
+    records: list = field(default_factory=list)
+    wall_time_s: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------ #
+    # access helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def ok_records(self) -> list:
+        """Records of tasks that completed successfully."""
+        return [record for record in self.records if record.ok]
+
+    @property
+    def failures(self) -> list:
+        """Structured failure records (tasks whose algorithm raised)."""
+        return [record for record in self.records if not record.ok]
+
+    def record_for(self, problem: str, algorithm: str) -> TaskRecord:
+        """The record of a specific cell (KeyError if absent)."""
+        key = str(problem).strip().upper()
+        for record in self.records:
+            if record.problem.upper() == key and record.algorithm == algorithm:
+                return record
+        raise KeyError(f"no record for ({problem!r}, {algorithm!r})")
+
+    def winners(self) -> dict:
+        """Per problem, the successful algorithm with the smallest envelope."""
+        best: dict[str, TaskRecord] = {}
+        for record in self.ok_records:
+            incumbent = best.get(record.problem)
+            if incumbent is None or (
+                record.metrics.get("envelope_size", 0)
+                < incumbent.metrics.get("envelope_size", 0)
+            ):
+                best[record.problem] = record
+        return {problem: record.algorithm for problem, record in best.items()}
+
+    def to_rows(self):
+        """Ranked :class:`repro.analysis.report.ComparisonRow` list (ok tasks)."""
+        from repro.analysis.report import rows_from_records
+
+        return rows_from_records(self.records)
+
+    def to_text(self) -> str:
+        """Render the suite as a paper-style text table plus failure lines."""
+        from repro.analysis.report import format_table
+
+        scale_label = "default" if self.scale is None else f"{self.scale:g}"
+        lines = [
+            format_table(
+                self.to_rows(),
+                title=f"Suite results — {len(self.problems)} problem(s), scale={scale_label}",
+            )
+        ]
+        for record in self.failures:
+            error = record.error or {}
+            lines.append(
+                f"FAILED {record.problem}/{record.algorithm}: "
+                f"{error.get('type', 'Error')}: {error.get('message', '')}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self, include_timing: bool = True) -> dict:
+        """JSON-serializable view; see the module docstring for the schema."""
+        payload = {
+            "schema_version": int(self.schema_version),
+            "engine": _ENGINE_NAME,
+            "problems": list(self.problems),
+            "algorithms": list(self.algorithms),
+            "scale": self.scale,
+            "base_seed": int(self.base_seed),
+            "records": [record.to_dict(include_timing=include_timing) for record in self.records],
+        }
+        if include_timing:
+            payload["n_jobs"] = int(self.n_jobs)
+            payload["wall_time_s"] = float(self.wall_time_s)
+        return payload
+
+    def to_json(self, include_timing: bool = True, indent: int = 2) -> str:
+        """Canonical JSON text (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(include_timing=include_timing),
+                          indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SuiteResult":
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported suite schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        return cls(
+            problems=list(payload.get("problems", [])),
+            algorithms=list(payload.get("algorithms", [])),
+            scale=payload.get("scale"),
+            n_jobs=int(payload.get("n_jobs", 1)),
+            base_seed=int(payload.get("base_seed", 0)),
+            records=[TaskRecord.from_dict(r) for r in payload.get("records", [])],
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            schema_version=int(version),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SuiteResult":
+        """Inverse of :meth:`to_json` (``ordering`` fields come back ``None``)."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> Path:
+        """Write the full (timed) JSON artifact to *path*; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "SuiteResult":
+        """Read a JSON artifact previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------ #
+    # regression comparison
+    # ------------------------------------------------------------------ #
+    def diff(self, other: "SuiteResult", include_timing: bool = False) -> list[str]:
+        """Human-readable differences between two suite runs.
+
+        Timing fields (and ``n_jobs``) are ignored by default, so a serial
+        run and a parallel run of the same suite diff clean.  Error records
+        are compared by exception type and message only — traceback text
+        embeds absolute paths and line numbers that legitimately vary across
+        machines and unrelated edits.  Returns an empty list when the runs
+        agree.
+        """
+        differences: list[str] = []
+        for name in ("problems", "algorithms", "scale", "base_seed"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if mine != theirs:
+                differences.append(f"{name}: {mine!r} != {theirs!r}")
+
+        mine_by_key = {(r.problem, r.algorithm): r for r in self.records}
+        other_by_key = {(r.problem, r.algorithm): r for r in other.records}
+        for key in sorted(set(mine_by_key) | set(other_by_key)):
+            problem, algorithm = key
+            label = f"{problem}/{algorithm}"
+            a, b = mine_by_key.get(key), other_by_key.get(key)
+            if a is None or b is None:
+                differences.append(f"{label}: present in only one run")
+                continue
+            if a.to_dict(include_timing=include_timing) == b.to_dict(include_timing=include_timing):
+                continue
+            if a.status != b.status:
+                differences.append(f"{label}: status {a.status!r} != {b.status!r}")
+                continue
+            for field_name in sorted(set(a.metrics) | set(b.metrics)):
+                va, vb = a.metrics.get(field_name), b.metrics.get(field_name)
+                if va != vb:
+                    differences.append(f"{label}: metrics.{field_name} {va!r} != {vb!r}")
+            for field_name in ("seed", "n", "nnz"):
+                va, vb = getattr(a, field_name), getattr(b, field_name)
+                if va != vb:
+                    differences.append(f"{label}: {field_name} {va!r} != {vb!r}")
+            ea = {k: (a.error or {}).get(k) for k in ("type", "message")}
+            eb = {k: (b.error or {}).get(k) for k in ("type", "message")}
+            if ea != eb:
+                differences.append(f"{label}: error {ea!r} != {eb!r}")
+            if include_timing and a.time_s != b.time_s:
+                differences.append(f"{label}: time_s {a.time_s!r} != {b.time_s!r}")
+        return differences

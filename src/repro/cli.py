@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands cover the workflows a downstream user of an envelope solver
+Five subcommands cover the workflows a downstream user of an envelope solver
 actually runs:
 
 ``reorder``
@@ -12,6 +12,19 @@ actually runs:
     Run several ordering algorithms on a matrix (or on a named surrogate
     problem from the paper's test sets) and print a Table 4.1-style ranked
     comparison.
+
+``suite``
+    Drive the whole ``problems x algorithms`` cross-product through the
+    parallel batch engine (:mod:`repro.batch`), e.g.::
+
+        repro suite --jobs 4 --output results.json
+        repro suite POW9 BARTH4 --algorithms rcm,spectral --scale 0.05 \\
+            --baseline results.json
+
+    ``--output`` saves a versioned JSON artifact (see
+    :mod:`repro.batch.results` for the schema); ``--baseline`` diffs the run
+    against a saved artifact, ignoring timing fields, and exits nonzero on
+    drift.
 
 ``spy``
     Print an ASCII structure plot of a matrix under a chosen ordering
@@ -34,6 +47,7 @@ import numpy as np
 
 from repro.analysis.report import format_table
 from repro.analysis.runner import run_comparison
+from repro.batch import SuiteResult, run_suite
 from repro.analysis.spy import ascii_spy, band_profile
 from repro.collections.registry import available_problems, load_problem
 from repro.core.pipeline import reorder
@@ -117,6 +131,54 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_suite(args) -> int:
+    if args.table and args.problems:
+        print("give either problem names or --table, not both", file=sys.stderr)
+        return 2
+    if args.table:
+        problems = available_problems(args.table, paper_order=True)
+    elif args.problems:
+        problems = args.problems
+    else:
+        problems = available_problems()
+    algorithms = tuple(args.algorithms.split(",")) if args.algorithms else PAPER_ALGORITHMS
+    try:
+        suite = run_suite(
+            problems,
+            algorithms,
+            scale=args.scale,
+            n_jobs=args.jobs,
+            base_seed=args.seed,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(suite.to_text())
+    ok, failed = len(suite.ok_records), len(suite.failures)
+    print(
+        f"\n{ok + failed} task(s) in {suite.wall_time_s:.2f} s "
+        f"with {suite.n_jobs} job(s): {ok} ok, {failed} failed"
+    )
+    if args.output:
+        suite.save(args.output)
+        print(f"results written to {args.output}")
+    if args.baseline:
+        try:
+            baseline = SuiteResult.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        differences = baseline.diff(suite)
+        if differences:
+            print(f"{len(differences)} difference(s) vs baseline {args.baseline}:",
+                  file=sys.stderr)
+            for line in differences:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"matches baseline {args.baseline} (timing fields excluded)")
+    return 1 if suite.failures else 0
+
+
 def _cmd_spy(args) -> int:
     pattern, _matrix, label = _load_input(args.input)
     perm = None
@@ -187,6 +249,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--algorithms", default=None,
                                 help="comma-separated list (default: spectral,gk,gps,rcm)")
     compare_parser.set_defaults(func=_cmd_compare)
+
+    suite_parser = sub.add_parser(
+        "suite", help="run the problems x algorithms batch suite (parallel engine)"
+    )
+    suite_parser.add_argument("problems", nargs="*",
+                              help="registered problem names (default: all)")
+    suite_parser.add_argument("--table", default=None, choices=["4.1", "4.2", "4.3"],
+                              help="run every problem of one paper table")
+    suite_parser.add_argument("--algorithms", default=None,
+                              help="comma-separated list (default: spectral,gk,gps,rcm)")
+    suite_parser.add_argument("--scale", type=float, default=None,
+                              help="surrogate scale (default: registry default)")
+    suite_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes (1 = serial, identical results)")
+    suite_parser.add_argument("--seed", type=int, default=0,
+                              help="base seed of the deterministic per-task seeding")
+    suite_parser.add_argument("--output", default=None,
+                              help="write the versioned JSON results artifact here")
+    suite_parser.add_argument("--baseline", default=None,
+                              help="diff against a saved results.json (exit 1 on drift)")
+    suite_parser.set_defaults(func=_cmd_suite)
 
     spy_parser = sub.add_parser("spy", help="ASCII structure plot under an ordering")
     spy_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")

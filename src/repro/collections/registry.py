@@ -405,11 +405,18 @@ PAPER_PROBLEMS: dict[str, ProblemSpec] = {
 }
 
 
-def available_problems(table: str | None = None) -> list[str]:
-    """Names of the registered problems, optionally restricted to one paper table."""
-    if table is None:
-        return sorted(PAPER_PROBLEMS)
-    return sorted(name for name, spec in PAPER_PROBLEMS.items() if spec.table == table)
+def available_problems(table: str | None = None, paper_order: bool = False) -> list[str]:
+    """Names of the registered problems, optionally restricted to one paper table.
+
+    ``paper_order=True`` returns the names in the row order of the paper's
+    tables (the registration order) instead of alphabetically — the order the
+    benchmark result files use for side-by-side comparison with the paper.
+    """
+    names = [
+        name for name, spec in PAPER_PROBLEMS.items()
+        if table is None or spec.table == table
+    ]
+    return names if paper_order else sorted(names)
 
 
 def load_problem(name: str, scale: float | None = None) -> tuple[SymmetricPattern, ProblemSpec]:

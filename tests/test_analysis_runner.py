@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.analysis.runner import run_comparison, run_problem_suite
+from repro.analysis.runner import ExperimentResult, run_comparison, run_problem_suite
 from repro.collections.meshes import grid2d_pattern
 from repro.envelope.metrics import envelope_size
+from repro.orderings.registry import ORDERING_ALGORITHMS
 
 
 class TestRunComparison:
@@ -43,6 +44,17 @@ class TestRunComparison:
         text = result.to_text()
         assert "RCM" in text and "GPS" in text and "Rank" in text
 
+    def test_unknown_algorithm_raises(self, grid_8x6):
+        with pytest.raises(KeyError):
+            run_comparison(grid_8x6, algorithms=("rcm", "amd"))
+
+
+class TestExperimentResultWinner:
+    def test_winner_on_empty_rows_raises_value_error(self):
+        result = ExperimentResult(problem="empty")
+        with pytest.raises(ValueError, match="no comparison rows"):
+            result.winner
+
 
 class TestRunProblemSuite:
     def test_runs_registered_problems(self):
@@ -51,3 +63,24 @@ class TestRunProblemSuite:
         for result in results:
             assert len(result.rows) == 2
             assert sorted(r.rank for r in result.rows) == [1, 2]
+
+    def test_parallel_jobs_match_serial(self):
+        serial = run_problem_suite(["POW9", "CAN1072"], algorithms=("rcm", "gps"), scale=0.02)
+        parallel = run_problem_suite(
+            ["POW9", "CAN1072"], algorithms=("rcm", "gps"), scale=0.02, n_jobs=2
+        )
+        for a, b in zip(serial, parallel):
+            assert a.problem == b.problem
+            assert [(r.algorithm, r.envelope_size, r.rank) for r in a.rows] == [
+                (r.algorithm, r.envelope_size, r.rank) for r in b.rows
+            ]
+            # orderings survive the process boundary
+            assert set(b.orderings) == {"rcm", "gps"}
+
+    def test_failed_task_raises_runtime_error(self, monkeypatch):
+        def boom(pattern, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "boom", boom)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_problem_suite(["POW9"], algorithms=("rcm", "boom"), scale=0.02)

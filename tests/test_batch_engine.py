@@ -1,0 +1,151 @@
+"""Tests for the parallel batch-experiment engine (repro.batch.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.batch.engine import execute_task, run_suite
+from repro.batch.tasks import BatchTask, build_tasks, derive_seed
+from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
+
+SCALE = 0.02
+
+
+class TestBuildTasks:
+    def test_cross_product_order_and_indices(self):
+        tasks = build_tasks(["POW9", "CAN1072"], ("rcm", "gps"), scale=SCALE)
+        assert [(t.problem, t.algorithm) for t in tasks] == [
+            ("POW9", "rcm"), ("POW9", "gps"), ("CAN1072", "rcm"), ("CAN1072", "gps"),
+        ]
+        assert [t.index for t in tasks] == [0, 1, 2, 3]
+
+    def test_case_insensitive_problem_names(self):
+        tasks = build_tasks(["pow9"], ("rcm",))
+        assert tasks[0].problem == "POW9"
+
+    def test_unknown_problem_raises(self):
+        with pytest.raises(ValueError, match="unknown problem"):
+            build_tasks(["NOSUCH"], ("rcm",))
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_tasks(["POW9"], ("rcm", "amd"))
+
+    def test_seeds_independent_of_task_order(self):
+        forward = build_tasks(["POW9", "CAN1072"], ("rcm", "gps"))
+        backward = build_tasks(["CAN1072", "POW9"], ("gps", "rcm"))
+        seeds_forward = {(t.problem, t.algorithm): t.seed for t in forward}
+        seeds_backward = {(t.problem, t.algorithm): t.seed for t in backward}
+        assert seeds_forward == seeds_backward
+
+    def test_base_seed_changes_seeds(self):
+        assert derive_seed(0, "POW9", "rcm") != derive_seed(1, "POW9", "rcm")
+
+
+class TestExecuteTask:
+    def test_ok_record_has_metrics_and_ordering(self):
+        task = BatchTask(problem="POW9", algorithm="rcm", scale=SCALE,
+                         seed=derive_seed(0, "POW9", "rcm"))
+        record = execute_task(task)
+        assert record.ok and record.error is None
+        assert record.n > 0 and record.nnz > 0
+        assert record.metrics["envelope_size"] > 0
+        assert sorted(record.ordering.perm.tolist()) == list(range(record.n))
+        assert record.time_s >= 0
+
+    def test_exception_becomes_failure_record(self, monkeypatch):
+        def boom(pattern, **kwargs):
+            raise RuntimeError("kaboom mid-suite")
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "boom", boom)
+        record = execute_task(BatchTask(problem="POW9", algorithm="boom", scale=SCALE))
+        assert not record.ok
+        assert record.error["type"] == "RuntimeError"
+        assert "kaboom" in record.error["message"]
+        assert "Traceback" in record.error["traceback"]
+        assert record.ordering is None
+
+    def test_capture_errors_false_propagates(self, monkeypatch):
+        def boom(pattern, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "boom", boom)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            execute_task(BatchTask(problem="POW9", algorithm="boom", scale=SCALE),
+                         capture_errors=False)
+
+    def test_rng_injected_deterministically(self):
+        task = BatchTask(problem="POW9", algorithm="random", scale=SCALE, seed=123)
+        a = execute_task(task)
+        b = execute_task(task)
+        assert np.array_equal(a.ordering.perm, b.ordering.perm)
+        other = execute_task(
+            BatchTask(problem="POW9", algorithm="random", scale=SCALE, seed=124)
+        )
+        assert not np.array_equal(a.ordering.perm, other.ordering.perm)
+
+
+class TestRunSuite:
+    def test_one_failure_does_not_kill_the_suite(self, monkeypatch):
+        def boom(pattern, **kwargs):
+            raise RuntimeError("kaboom mid-suite")
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "boom", boom)
+        suite = run_suite(["POW9", "CAN1072"], ("rcm", "boom"), scale=SCALE)
+        assert len(suite.records) == 4
+        assert len(suite.failures) == 2
+        assert {r.algorithm for r in suite.failures} == {"boom"}
+        assert {r.algorithm for r in suite.ok_records} == {"rcm"}
+        # the suite still renders and serializes
+        assert "FAILED POW9/boom" in suite.to_text()
+        reloaded = type(suite).from_json(suite.to_json())
+        assert reloaded.failures[0].error["type"] == "RuntimeError"
+
+    def test_empty_problem_list(self):
+        suite = run_suite([], ("rcm",), scale=SCALE)
+        assert suite.records == [] and suite.failures == []
+        assert suite.winners() == {}
+        roundtrip = type(suite).from_json(suite.to_json())
+        assert roundtrip.to_dict() == suite.to_dict()
+
+    def test_unknown_algorithm_raises_upfront(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_suite(["POW9"], ("rcm", "amd"), scale=SCALE)
+
+    def test_unknown_problem_raises_upfront(self):
+        with pytest.raises(ValueError, match="unknown problem"):
+            run_suite(["NOSUCH"], ("rcm",), scale=SCALE)
+
+    def test_invalid_n_jobs_raises(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_suite(["POW9"], ("rcm",), scale=SCALE, n_jobs=0)
+
+    def test_json_round_trip_equality(self):
+        suite = run_suite(["POW9"], ("rcm", "gps"), scale=SCALE)
+        roundtrip = type(suite).from_json(suite.to_json())
+        assert roundtrip.to_dict() == suite.to_dict()
+        assert roundtrip.to_json() == suite.to_json()
+
+    def test_parallel_matches_serial(self):
+        serial = run_suite(["POW9", "CAN1072"], ("rcm", "gps"), scale=SCALE, n_jobs=1)
+        parallel = run_suite(["POW9", "CAN1072"], ("rcm", "gps"), scale=SCALE, n_jobs=2)
+        assert serial.diff(parallel) == []
+        assert serial.to_json(include_timing=False) == parallel.to_json(include_timing=False)
+
+    def test_parallel_returns_orderings(self):
+        suite = run_suite(["POW9"], ("rcm",), scale=SCALE, n_jobs=2)
+        # single task short-circuits to serial; force two tasks
+        suite = run_suite(["POW9"], ("rcm", "gps"), scale=SCALE, n_jobs=2)
+        for record in suite.records:
+            assert sorted(record.ordering.perm.tolist()) == list(range(record.n))
+
+    def test_keep_orderings_false_drops_permutations(self):
+        suite = run_suite(["POW9"], ("rcm",), scale=SCALE, keep_orderings=False)
+        assert all(record.ordering is None for record in suite.records)
+
+    @pytest.mark.slow
+    def test_parallel_four_jobs_matches_serial_on_paper_algorithms(self):
+        problems = ["POW9", "CAN1072", "DWT2680"]
+        serial = run_suite(problems, PAPER_ALGORITHMS, scale=0.03, n_jobs=1)
+        parallel = run_suite(problems, PAPER_ALGORITHMS, scale=0.03, n_jobs=4)
+        assert serial.diff(parallel) == []
+        assert serial.to_json(include_timing=False) == parallel.to_json(include_timing=False)

@@ -112,6 +112,61 @@ class TestFiedlerCommand:
         assert abs(vector.sum()) < 1e-8
 
 
+class TestSuiteCommand:
+    ARGS = ["suite", "POW9", "CAN1072", "--algorithms", "rcm,gps", "--scale", "0.02"]
+
+    def test_suite_prints_table_and_summary(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "POW9" in output and "CAN1072" in output
+        assert "RCM" in output and "GPS" in output
+        assert "4 ok, 0 failed" in output
+
+    def test_suite_writes_versioned_json(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        code = main(self.ARGS + ["--jobs", "2", "--output", str(out)])
+        assert code == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["n_jobs"] == 2
+        assert len(payload["records"]) == 4
+        assert all(r["status"] == "ok" for r in payload["records"])
+
+    def test_suite_baseline_match_and_drift(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert main(self.ARGS + ["--output", str(out)]) == 0
+        assert main(self.ARGS + ["--baseline", str(out)]) == 0
+        assert "matches baseline" in capsys.readouterr().out
+
+        import json
+
+        payload = json.loads(out.read_text())
+        payload["records"][0]["metrics"]["envelope_size"] += 1
+        out.write_text(json.dumps(payload))
+        assert main(self.ARGS + ["--baseline", str(out)]) == 1
+        assert "envelope_size" in capsys.readouterr().err
+
+    def test_suite_table_selection(self, capsys):
+        code = main(["suite", "--table", "4.2", "--algorithms", "rcm", "--scale", "0.02"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("BLKHOLE", "CAN1072", "DWT2680", "POW9", "SSTMODEL"):
+            assert name in output
+
+    def test_suite_unknown_algorithm_errors(self, capsys):
+        code = main(["suite", "POW9", "--algorithms", "rcm,amd", "--scale", "0.02"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_suite_unknown_problem_errors(self, capsys):
+        code = main(["suite", "NOSUCH", "--scale", "0.02"])
+        assert code == 2
+        assert "unknown problem" in capsys.readouterr().err
+
+
 class TestProblemsCommand:
     def test_lists_all_tables(self, capsys):
         code = main(["problems"])

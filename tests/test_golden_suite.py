@@ -1,0 +1,59 @@
+"""Golden regression tests for the batch engine's structured results.
+
+``tests/golden/suite_small.json`` is the canonical (timing-free) JSON
+artifact of a suite run over three tiny registered problems with the paper's
+four algorithms at scale 0.02.  A fresh run — serial or over two worker
+processes — must reproduce it *byte for byte*: any drift in envelope size,
+bandwidth, frontwidth statistics, seeding or the schema itself fails here.
+
+Regenerate (only after an intentional algorithm/schema change) with::
+
+    PYTHONPATH=src python -c "
+    from pathlib import Path
+    from repro.batch import run_suite
+    suite = run_suite(['CAN1072', 'DWT2680', 'POW9'], scale=0.02, base_seed=0)
+    Path('tests/golden/suite_small.json').write_text(suite.to_json(include_timing=False))"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.batch import SuiteResult, run_suite
+from repro.orderings.registry import PAPER_ALGORITHMS
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "suite_small.json"
+PROBLEMS = ("CAN1072", "DWT2680", "POW9")
+SCALE = 0.02
+
+
+def _fresh_suite(n_jobs: int) -> SuiteResult:
+    return run_suite(PROBLEMS, PAPER_ALGORITHMS, scale=SCALE, n_jobs=n_jobs, base_seed=0)
+
+
+@pytest.fixture(scope="module")
+def golden_text() -> str:
+    return GOLDEN_PATH.read_text()
+
+
+def test_golden_file_is_current_schema(golden_text):
+    suite = SuiteResult.from_json(golden_text)
+    assert suite.problems == list(PROBLEMS)
+    assert suite.algorithms == list(PAPER_ALGORITHMS)
+    assert len(suite.records) == len(PROBLEMS) * len(PAPER_ALGORITHMS)
+    assert suite.failures == []
+    # timing fields were stripped when the golden was written
+    assert all(record.time_s == 0.0 for record in suite.records)
+
+
+def test_serial_run_matches_golden_byte_for_byte(golden_text):
+    assert _fresh_suite(n_jobs=1).to_json(include_timing=False) == golden_text
+
+
+def test_two_worker_run_matches_golden_byte_for_byte(golden_text):
+    assert _fresh_suite(n_jobs=2).to_json(include_timing=False) == golden_text
+
+
+def test_fresh_run_diffs_clean_against_golden(golden_text):
+    golden = SuiteResult.from_json(golden_text)
+    assert golden.diff(_fresh_suite(n_jobs=1)) == []

@@ -1,0 +1,105 @@
+"""Property-based invariants of *every* registered ordering algorithm.
+
+Three families of properties over hypothesis-generated problems:
+
+* every algorithm returns a valid permutation, on connected and on
+  disconnected (even edgeless) structures;
+* the envelope parameters are invariant under vertex relabeling — computing
+  an ordering, then relabeling the graph and transporting the permutation
+  through the relabeling, leaves envelope size / bandwidth / envelope work
+  unchanged (the metrics depend only on assigned positions, never on labels);
+* RCM is exactly reversed Cuthill-McKee (the SPARSPAK convention).
+
+Algorithms that take an ``rng`` (``spectral``, ``hybrid``, ``random``) get a
+fixed-seed generator so every example is reproducible, mirroring the batch
+engine's deterministic per-task seeding.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.envelope.metrics import bandwidth, envelope_size, envelope_work
+from repro.orderings.cuthill_mckee import cuthill_mckee_ordering, rcm_ordering
+from repro.orderings.registry import ORDERING_ALGORITHMS
+from tests.conftest import small_connected_patterns, small_patterns
+
+ALL_ALGORITHMS = sorted(ORDERING_ALGORITHMS)
+
+_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _run_algorithm(name, pattern):
+    """Run a registered algorithm deterministically (dense eigensolver,
+    fixed-seed rng) so hypothesis examples are reproducible."""
+    func = ORDERING_ALGORITHMS[name]
+    options = {}
+    parameters = inspect.signature(func).parameters
+    if "method" in parameters:
+        options["method"] = "dense"
+    if "rng" in parameters:
+        options["rng"] = np.random.default_rng(0)
+    return func(pattern, **options)
+
+
+class TestEveryAlgorithmIsAPermutation:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    @given(pattern=small_patterns())
+    @settings(**_SETTINGS)
+    def test_permutation_on_arbitrary_patterns(self, name, pattern):
+        ordering = _run_algorithm(name, pattern)
+        assert sorted(ordering.perm.tolist()) == list(range(pattern.n))
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    @given(pattern=small_connected_patterns())
+    @settings(**_SETTINGS)
+    def test_permutation_on_connected_patterns(self, name, pattern):
+        ordering = _run_algorithm(name, pattern)
+        assert sorted(ordering.perm.tolist()) == list(range(pattern.n))
+
+
+class TestRelabelingInvariance:
+    """Relabel vertices by a random bijection sigma, transport the computed
+    permutation through sigma, and check every envelope metric is unchanged."""
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    @given(
+        pattern=small_connected_patterns(),
+        relabel_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**_SETTINGS)
+    def test_envelope_metrics_invariant(self, name, pattern, relabel_seed):
+        ordering = _run_algorithm(name, pattern)
+        sigma = np.random.default_rng(relabel_seed).permutation(pattern.n)
+        # Relabeled pattern B with B[sigma[i], sigma[j]] = A[i, j]:
+        # row k of B is row argsort(sigma)[k] of A.
+        relabeled = pattern.permute(np.argsort(sigma))
+        transported = sigma[ordering.perm]
+        assert envelope_size(relabeled, transported) == envelope_size(pattern, ordering.perm)
+        assert bandwidth(relabeled, transported) == bandwidth(pattern, ordering.perm)
+        assert envelope_work(relabeled, transported) == envelope_work(pattern, ordering.perm)
+
+
+class TestRcmIsReversedCm:
+    @given(pattern=small_patterns())
+    @settings(**_SETTINGS)
+    def test_rcm_equals_reversed_cm(self, pattern):
+        rcm = rcm_ordering(pattern)
+        cm = cuthill_mckee_ordering(pattern)
+        assert np.array_equal(rcm.perm, cm.perm[::-1])
+
+    @given(pattern=small_connected_patterns())
+    @settings(**_SETTINGS)
+    def test_rcm_equals_reversed_cm_with_explicit_start(self, pattern):
+        rcm = rcm_ordering(pattern, start=0)
+        cm = cuthill_mckee_ordering(pattern, start=0)
+        assert np.array_equal(rcm.perm, cm.perm[::-1])
