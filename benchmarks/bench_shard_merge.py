@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Sharded-suite scaling of the batch engine (`repro suite --shard K/N`).
+
+Simulates an N-machine run on one box: executes the N round-robin shards of
+one paper table's ``problems x algorithms`` cross-product sequentially,
+merges the artifacts (:func:`repro.batch.results.merge_results`), verifies
+that the merged result is *byte-identical* in canonical form to a
+single-machine run, and reports the per-shard wall times — the balance of
+the round-robin partition is what an actual cluster's makespan would be.
+A summary is written to ``benchmarks/results/shard_merge.txt``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_shard_merge.py [--shards 4]
+        [--scale 0.05] [--table 4.2] [--jobs 1]
+
+``--jobs`` sets the worker processes *within* each shard (the two levels of
+parallelism compose: N machines x ``--jobs`` workers each).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.batch import merge_results, run_suite
+from repro.collections.registry import available_problems
+
+RESULTS_PATH = Path(__file__).parent / "results" / "shard_merge.txt"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--table", default="4.2", choices=["4.1", "4.2", "4.3"])
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args()
+
+    problems = available_problems(args.table)
+    print(f"Table {args.table} suite ({len(problems)} problems x 4 algorithms, "
+          f"scale={args.scale}) over {args.shards} shard(s)")
+
+    print("single-machine reference run ...")
+    reference = run_suite(problems, scale=args.scale, n_jobs=args.jobs,
+                          keep_orderings=False)
+    print(f"  wall time: {reference.wall_time_s:.2f} s")
+
+    shards = []
+    for k in range(1, args.shards + 1):
+        shard = run_suite(problems, scale=args.scale, n_jobs=args.jobs,
+                          shard=(k, args.shards), keep_orderings=False)
+        shards.append(shard)
+        print(f"  shard {k}/{args.shards}: {len(shard.records):3d} task(s) "
+              f"in {shard.wall_time_s:.2f} s")
+
+    merged = merge_results(shards)
+    identical = (merged.to_json(include_timing=False)
+                 == reference.to_json(include_timing=False))
+    if not identical:
+        print("ERROR: merged shards differ from the single-machine run:",
+              file=sys.stderr)
+        for line in reference.diff(merged):
+            print(f"  {line}", file=sys.stderr)
+        return 1
+
+    makespan = max(shard.wall_time_s for shard in shards)
+    total = sum(shard.wall_time_s for shard in shards)
+    lines = [
+        f"Shard scaling — Table {args.table}, scale={args.scale}, "
+        f"{len(reference.records)} tasks, {args.shards} shard(s), "
+        f"jobs/shard={args.jobs}",
+        f"single machine      : {reference.wall_time_s:8.2f} s",
+        f"slowest shard       : {makespan:8.2f} s  (cluster makespan)",
+        f"sum of shards       : {total:8.2f} s  (total compute)",
+        f"ideal makespan      : {reference.wall_time_s / args.shards:8.2f} s",
+        f"balance efficiency  : {total / (args.shards * makespan):8.2%}",
+        "merged == single-machine (canonical form): yes",
+    ]
+    print("\n".join(lines))
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text("\n".join(lines) + "\n")
+    print(f"summary written to {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

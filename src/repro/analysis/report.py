@@ -97,8 +97,9 @@ def rows_from_records(records) -> list[ComparisonRow]:
     """Ranked comparison rows from batch :class:`repro.batch.results.TaskRecord`s.
 
     The adapter between the batch engine's structured results and the paper's
-    table format: failed tasks carry no metrics and are skipped (they are
-    reported separately, e.g. by ``SuiteResult.to_text``).
+    table format: non-ok tasks (``"error"`` and ``"timeout"`` records alike)
+    carry no metrics and are skipped — they are reported separately, e.g. as
+    the ``FAILED``/``TIMEOUT`` lines of ``SuiteResult.to_text``.
     """
     rows = []
     for record in records:

@@ -139,6 +139,7 @@ def run_problem_suite(
     algorithm_options: dict | None = None,
     n_jobs: int = 1,
     base_seed: int = 0,
+    timeout: float | None = None,
 ) -> list[ExperimentResult]:
     """Run the comparison over a list of registered surrogate problems.
 
@@ -157,6 +158,10 @@ def run_problem_suite(
         results are identical either way).
     base_seed:
         Root of the deterministic per-task seeding.
+    timeout:
+        Per-task wall-clock limit in seconds, enforced by the batch engine's
+        timeout pool (``None`` = unlimited).  A timed-out task surfaces as a
+        :class:`RuntimeError` here, like any other failure.
 
     Returns
     -------
@@ -165,9 +170,9 @@ def run_problem_suite(
     Raises
     ------
     RuntimeError
-        When any task failed — this legacy API has no failure-record
-        channel.  Use :func:`repro.batch.run_suite` to get structured
-        failure records instead.
+        When any task failed or timed out — this legacy API has no
+        failure-record channel.  Use :func:`repro.batch.run_suite` to get
+        structured failure records instead.
     """
     suite = run_suite(
         problem_names,
@@ -176,6 +181,7 @@ def run_problem_suite(
         n_jobs=n_jobs,
         algorithm_options=algorithm_options,
         base_seed=base_seed,
+        timeout=timeout,
     )
     if suite.failures:
         first = suite.failures[0]

@@ -1,10 +1,12 @@
-"""Parallel batch-experiment engine with structured, replayable results.
+"""Distributable batch-experiment engine with structured, mergeable results.
 
 The paper's evaluation is a cross-product of ``{problems} x {ordering
 algorithms}``; this package decomposes it into independent tasks
-(:mod:`repro.batch.tasks`), executes them serially or over a process pool
-(:mod:`repro.batch.engine`), and bundles the outcomes into a versioned JSON
-results artifact that can be saved, diffed and regression-compared
+(:mod:`repro.batch.tasks`), executes them serially, over a process pool, or
+as one shard of a multi-machine run (:mod:`repro.batch.engine`), streams
+records incrementally to a resumable JSONL sink (:mod:`repro.batch.stream`),
+and bundles the outcomes into a versioned JSON artifact that can be saved,
+diffed, regression-compared and merged across shards
 (:mod:`repro.batch.results`).
 
 Quick start::
@@ -14,23 +16,53 @@ Quick start::
     suite.save("results.json")
     print(suite.to_text())
 
+Distributed across 3 machines::
+
+    # machine k of 3 (k = 1, 2, 3):
+    shard = run_suite(["BARTH4", "POW9"], scale=0.02, shard=(k, 3))
+    shard.save(f"shard{k}.json")
+
+    # anywhere afterwards:
+    from repro.batch import SuiteResult, merge_results
+    merged = merge_results([SuiteResult.load(f"shard{k}.json") for k in (1, 2, 3)])
+
 or from the command line::
 
     repro suite --jobs 4 --output results.json
+    repro suite --shard 2/3 --output shard2.json
+    repro merge shard1.json shard2.json shard3.json --output full.json
 """
 
-from repro.batch.engine import execute_task, run_suite, task_options
-from repro.batch.results import SCHEMA_VERSION, SuiteResult, TaskRecord
-from repro.batch.tasks import BatchTask, build_tasks, derive_seed
+from repro.batch.engine import execute_task, iter_suite, run_suite, task_options
+from repro.batch.results import (
+    READ_COMPAT_VERSIONS,
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    SuiteResult,
+    TaskRecord,
+    merge_results,
+)
+from repro.batch.stream import StreamWriter, read_stream, stream_header, validate_stream_header
+from repro.batch.tasks import BatchTask, build_tasks, derive_seed, parse_shard, shard_tasks
 
 __all__ = [
     "BatchTask",
+    "READ_COMPAT_VERSIONS",
     "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "StreamWriter",
     "SuiteResult",
     "TaskRecord",
     "build_tasks",
     "derive_seed",
     "execute_task",
+    "iter_suite",
+    "merge_results",
+    "parse_shard",
+    "read_stream",
     "run_suite",
+    "shard_tasks",
+    "stream_header",
     "task_options",
+    "validate_stream_header",
 ]

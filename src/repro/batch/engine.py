@@ -2,48 +2,59 @@
 
 Executes the ``{problems} x {algorithms}`` cross-product of a suite run as
 independent tasks (see :mod:`repro.batch.tasks`), either in-process
-(``n_jobs=1``) or over a :class:`concurrent.futures.ProcessPoolExecutor`.
-Results are identical in both modes: every task carries a deterministic seed,
-and patterns are rebuilt from the registry inside each worker so no shared
-mutable state is involved.
+(``n_jobs=1``) or over a process pool.  Results are identical in both modes:
+every task carries a deterministic seed, and patterns are rebuilt from the
+registry inside each worker so no shared mutable state is involved.
 
 One failing task never kills the suite: the exception is captured into a
 structured ``"error"`` record (type, message, traceback) and the remaining
-tasks keep running.
+tasks keep running.  With a per-task ``timeout``, a task that overruns is
+terminated and captured as a ``"timeout"`` record the same way.
+
+Streaming
+---------
+:func:`iter_suite` yields ``(task, record)`` pairs *as workers finish*
+(completion order when parallel, task order when serial), which is what the
+CLI's live progress line and ``--stream-output`` JSONL sink consume.
+:func:`run_suite` drains the same iterator and re-sorts into the
+deterministic task order, so artifacts never depend on scheduling.
 
 Example
 -------
 >>> from repro.batch import run_suite
->>> suite = run_suite(["POW9", "CAN1072"], algorithms=("rcm", "gps"),
-...                   scale=0.02, n_jobs=2)
+>>> suite = run_suite(["POW9"], algorithms=("rcm", "gps"), scale=0.02)
 >>> suite.failures
 []
+>>> [record.algorithm for record in suite.records]
+['rcm', 'gps']
 >>> _ = suite.save("results.json")    # doctest: +SKIP
 
 The equivalent CLI invocation::
 
-    repro suite POW9 CAN1072 --algorithms rcm,gps --scale 0.02 \\
-        --jobs 2 --output results.json
+    repro suite POW9 --algorithms rcm,gps --scale 0.02 --output results.json
 """
 
 from __future__ import annotations
 
 import inspect
+import multiprocessing
+import multiprocessing.connection
 import os
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from functools import lru_cache
 
 import numpy as np
 
 from repro.batch.results import SuiteResult, TaskRecord
-from repro.batch.tasks import BatchTask, build_tasks
+from repro.batch.tasks import BatchTask, build_tasks, shard_tasks
 from repro.collections.registry import load_problem
 from repro.envelope.metrics import envelope_statistics
 from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
 from repro.utils.timing import Timer
 
-__all__ = ["execute_task", "run_suite", "task_options"]
+__all__ = ["execute_task", "iter_suite", "run_suite", "task_options"]
 
 
 @lru_cache(maxsize=64)
@@ -120,6 +131,138 @@ def execute_task(task: BatchTask, pattern=None, capture_errors: bool = True) -> 
         )
 
 
+def _timeout_record(task: BatchTask, timeout: float) -> TaskRecord:
+    """The structured record of a task terminated by the per-task timeout."""
+    return TaskRecord(
+        problem=task.problem,
+        algorithm=task.algorithm,
+        status="timeout",
+        seed=task.seed,
+        time_s=float(timeout),
+        error={
+            "type": "TaskTimeout",
+            "message": f"task exceeded the per-task timeout of {timeout:g} s",
+            "traceback": None,
+        },
+    )
+
+
+def _crash_record(task: BatchTask, detail: str) -> TaskRecord:
+    """The structured record of a worker that died without reporting back."""
+    return TaskRecord(
+        problem=task.problem,
+        algorithm=task.algorithm,
+        status="error",
+        seed=task.seed,
+        error={
+            "type": "WorkerCrashed",
+            "message": f"worker process died without a result ({detail})",
+            "traceback": None,
+        },
+    )
+
+
+def _timeout_worker(task: BatchTask, connection) -> None:
+    """Child-process entry point of the timeout pool: run one task, pipe the
+    record back.  ``execute_task`` already captures ordinary exceptions."""
+    try:
+        connection.send(execute_task(task))
+    finally:
+        connection.close()
+
+
+def _iter_with_timeout(tasks, n_jobs: int, timeout: float):
+    """Yield ``(task, record)`` as tasks finish, terminating overrunners.
+
+    Each task gets its own worker process (started with the platform-default
+    multiprocessing context) so an overrunning task can be killed without
+    poisoning a shared pool: on deadline the process is terminated and a
+    ``"timeout"`` record yielded, while up to ``n_jobs`` other workers keep
+    running undisturbed.
+    """
+    context = multiprocessing.get_context()
+    pending = list(tasks)[::-1]
+    running: dict = {}  # receive-end connection -> (task, process, deadline)
+    try:
+        while pending or running:
+            while pending and len(running) < n_jobs:
+                task = pending.pop()
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_timeout_worker, args=(task, sender), daemon=True
+                )
+                process.start()
+                sender.close()
+                running[receiver] = (task, process, time.monotonic() + timeout)
+
+            nearest = min(deadline for (_, _, deadline) in running.values())
+            wait_s = max(0.0, nearest - time.monotonic())
+            ready = multiprocessing.connection.wait(list(running), timeout=wait_s)
+            now = time.monotonic()
+            for receiver in list(running):
+                task, process, deadline = running[receiver]
+                if receiver in ready:
+                    try:
+                        record = receiver.recv()
+                    except (EOFError, OSError) as exc:
+                        record = _crash_record(task, f"{type(exc).__name__}")
+                elif now >= deadline:
+                    process.terminate()
+                    record = _timeout_record(task, timeout)
+                else:
+                    continue
+                del running[receiver]
+                receiver.close()
+                process.join()
+                yield task, record
+    finally:
+        for task, process, _deadline in running.values():
+            process.terminate()
+            process.join()
+
+
+def _iter_pool(tasks, n_jobs: int):
+    """Yield ``(task, record)`` in completion order from a shared process pool."""
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+        futures = {pool.submit(execute_task, task): task for task in tasks}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+
+def iter_suite(tasks, *, n_jobs: int = 1, timeout: float | None = None):
+    """Stream ``(task, record)`` pairs as the suite's tasks complete.
+
+    The generator behind :func:`run_suite` and the CLI's live progress /
+    ``--stream-output`` sink.  Serial execution (``n_jobs=1`` without a
+    timeout) yields in task order; parallel execution yields in completion
+    order — consumers that need the deterministic order sort by
+    ``task.index`` afterwards, as :func:`run_suite` does.
+
+    Parameters
+    ----------
+    tasks:
+        :class:`~repro.batch.tasks.BatchTask` list (any slice, e.g. a shard).
+    n_jobs:
+        Concurrent worker processes.
+    timeout:
+        Per-task wall-clock limit in seconds.  A task that overruns is
+        terminated and reported as a ``"timeout"`` record; the remaining
+        tasks are unaffected.  Requires worker processes even for
+        ``n_jobs=1`` (an in-process task could not be interrupted), so
+        plain serial runs leave it ``None``.
+    """
+    tasks = list(tasks)
+    if timeout is not None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        yield from _iter_with_timeout(tasks, max(int(n_jobs), 1), float(timeout))
+    elif n_jobs == 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield task, execute_task(task)
+    else:
+        yield from _iter_pool(tasks, int(n_jobs))
+
+
 def run_suite(
     problem_names,
     algorithms=PAPER_ALGORITHMS,
@@ -129,6 +272,10 @@ def run_suite(
     algorithm_options: dict | None = None,
     base_seed: int = 0,
     keep_orderings: bool = True,
+    shard: tuple | None = None,
+    timeout: float | None = None,
+    completed=None,
+    on_record=None,
 ) -> SuiteResult:
     """Run the full ``problems x algorithms`` suite and return a :class:`SuiteResult`.
 
@@ -151,13 +298,32 @@ def run_suite(
     keep_orderings:
         When false, the permutation objects are dropped from the records
         (smaller in-memory result; the JSON artifact never contains them).
+    shard:
+        ``(index, count)`` (1-based) to run only that round-robin slice of
+        the task list — the ``--shard K/N`` distribution primitive.  The
+        result records the shard so :func:`repro.batch.results.merge_results`
+        can validate and recombine the slices.
+    timeout:
+        Per-task wall-clock limit in seconds (see :func:`iter_suite`);
+        overrunning tasks become ``"timeout"`` records.
+    completed:
+        Already-finished :class:`TaskRecord` s from a previous (killed) run
+        of the *same* specification — the resume path.  Matching cells are
+        reused **verbatim** (whatever their status) instead of re-executed;
+        callers that want to retry ``"timeout"`` or ``"error"`` cells filter
+        them out first, as the CLI does for timeouts on ``--resume``.
+    on_record:
+        Callback ``(record, done, total)`` invoked as each task finishes
+        (reused records first), in completion order — the hook for progress
+        reporting and incremental sinks.
 
     Raises
     ------
     ValueError
-        On unknown problem/algorithm names or a non-positive ``n_jobs``
-        (validated up front; a task that *raises while running* is captured
-        as a failure record instead).
+        On unknown problem/algorithm names, a non-positive ``n_jobs``, an
+        out-of-range ``shard`` or a non-positive ``timeout`` (validated up
+        front; a task that *raises while running* is captured as a failure
+        record instead).
     """
     if n_jobs is None:
         n_jobs = os.cpu_count() or 1
@@ -174,14 +340,36 @@ def run_suite(
         algorithm_options=algorithm_options,
         base_seed=base_seed,
     )
+    if shard is not None:
+        shard = (int(shard[0]), int(shard[1]))
+        tasks = shard_tasks(tasks, *shard)
 
+    reused: dict[tuple, list] = {}
+    for record in completed or []:
+        reused.setdefault((record.problem, record.algorithm), []).append(record)
+    pairs, remaining = [], []
+    for task in tasks:
+        bucket = reused.get((task.problem, task.algorithm))
+        if bucket:
+            pairs.append((task, bucket.pop(0)))
+        else:
+            remaining.append(task)
+
+    total = len(tasks)
+    done = 0
+    if on_record is not None:
+        for _task, record in pairs:
+            done += 1
+            on_record(record, done, total)
     timer = Timer()
     with timer:
-        if n_jobs == 1 or len(tasks) <= 1:
-            records = [execute_task(task) for task in tasks]
-        else:
-            with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-                records = list(pool.map(execute_task, tasks, chunksize=1))
+        for task, record in iter_suite(remaining, n_jobs=n_jobs, timeout=timeout):
+            pairs.append((task, record))
+            done += 1
+            if on_record is not None:
+                on_record(record, done, total)
+    pairs.sort(key=lambda pair: pair[0].index)
+    records = [record for _task, record in pairs]
     if not keep_orderings:
         for record in records:
             record.ordering = None
@@ -193,4 +381,5 @@ def run_suite(
         base_seed=base_seed,
         records=records,
         wall_time_s=float(timer.elapsed),
+        shard=shard,
     )

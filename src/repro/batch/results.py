@@ -1,29 +1,33 @@
 """Structured, versioned results of a batch suite run.
 
 A suite run produces one :class:`TaskRecord` per ``(problem, algorithm)``
-cell — either an ``"ok"`` record carrying the full envelope statistics and
-the ordering wall time, or an ``"error"`` record carrying the captured
-exception — bundled into a :class:`SuiteResult` that can be saved, reloaded
-and regression-compared.
+cell — an ``"ok"`` record carrying the full envelope statistics and the
+ordering wall time, an ``"error"`` record carrying the captured exception,
+or a ``"timeout"`` record when the task exceeded the per-task limit —
+bundled into a :class:`SuiteResult` that can be saved, reloaded,
+regression-compared, and merged across machines
+(:func:`merge_results`; see ``docs/results-schema.md`` for the full
+specification).
 
-JSON schema (version 1)
+JSON schema (version 2)
 -----------------------
 ``SuiteResult.to_json()`` emits::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "engine": "repro.batch",
       "problems": ["CAN1072", ...],
       "algorithms": ["spectral", "gk", "gps", "rcm"],
       "scale": 0.02,
       "base_seed": 0,
+      "shard": [2, 3],          # only present for a --shard K/N slice
       "n_jobs": 4,              # timing/run-environment field (optional)
       "wall_time_s": 1.83,      # timing field (optional)
       "records": [
         {
           "problem": "CAN1072",
           "algorithm": "rcm",
-          "status": "ok",                # or "error"
+          "status": "ok",                # or "error" / "timeout"
           "seed": 2417046638,
           "n": 171,
           "nnz": 1042,
@@ -40,10 +44,17 @@ JSON schema (version 1)
       ]
     }
 
+Version 1 (no ``shard`` key, no ``"timeout"`` status) is still read by
+:meth:`SuiteResult.from_dict`; an unsupported version raises
+:exc:`SchemaVersionError` so callers can distinguish "not our schema" from
+"unreadable file".
+
 Passing ``include_timing=False`` to :meth:`SuiteResult.to_dict` /
 :meth:`~SuiteResult.to_json` drops ``time_s``, ``wall_time_s`` and
 ``n_jobs`` — the *canonical* form used by the golden regression tests, which
-must be byte-stable across runs and across worker counts.
+must be byte-stable across runs, across worker counts, and across shard
+boundaries: merging the artifacts of an ``N``-way sharded run reproduces the
+single-machine artifact byte for byte in this form.
 """
 
 from __future__ import annotations
@@ -53,22 +64,53 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["SCHEMA_VERSION", "TaskRecord", "SuiteResult"]
+__all__ = [
+    "READ_COMPAT_VERSIONS",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "SuiteResult",
+    "TaskRecord",
+    "merge_results",
+]
 
 #: Version of the JSON results schema written by :meth:`SuiteResult.to_json`.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`SuiteResult.from_dict` can still read.
+READ_COMPAT_VERSIONS = frozenset({1, SCHEMA_VERSION})
 
 _ENGINE_NAME = "repro.batch"
+
+
+class SchemaVersionError(ValueError):
+    """A results artifact declares a schema version this build cannot read.
+
+    Subclasses :class:`ValueError` so legacy ``except ValueError`` callers
+    keep working, while the CLI can report "schema mismatch" distinctly from
+    "unreadable file".
+    """
 
 
 @dataclass
 class TaskRecord:
     """Outcome of one ``(problem, algorithm)`` task.
 
+    ``status`` is ``"ok"``, ``"error"`` (the algorithm raised; ``error``
+    holds the captured exception) or ``"timeout"`` (the task exceeded the
+    per-task limit and its worker was terminated; ``error`` holds a
+    synthetic ``TaskTimeout`` entry and ``time_s`` the limit).
+
     ``ordering`` holds the computed :class:`repro.orderings.base.Ordering`
     when the record travelled in memory (including across the process pool);
     it is never serialized to JSON, so records loaded with
     :meth:`SuiteResult.from_json` have ``ordering=None``.
+
+    >>> record = TaskRecord(problem="POW9", algorithm="rcm", seed=7)
+    >>> record.ok
+    True
+    >>> roundtrip = TaskRecord.from_dict(record.to_dict())
+    >>> roundtrip.to_dict() == record.to_dict()
+    True
     """
 
     problem: str
@@ -84,8 +126,13 @@ class TaskRecord:
 
     @property
     def ok(self) -> bool:
-        """Whether the task completed without an exception."""
+        """Whether the task completed without an exception or timeout."""
         return self.status == "ok"
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the task was cut off by the per-task timeout."""
+        return self.status == "timeout"
 
     def to_dict(self, include_timing: bool = True) -> dict:
         """JSON-serializable view (``ordering`` excluded by design)."""
@@ -120,7 +167,18 @@ class TaskRecord:
 
 @dataclass
 class SuiteResult:
-    """Results of a whole suite run, replayable via the JSON schema above."""
+    """Results of a whole suite run, replayable via the JSON schema above.
+
+    ``problems``/``algorithms`` always describe the *full* suite
+    specification; for a sharded run ``shard`` is ``(index, count)``
+    (1-based) and ``records`` holds only that slice of the cross-product.
+    ``shard`` is ``None`` for single-machine and merged artifacts.
+
+    >>> suite = SuiteResult(problems=["POW9"], algorithms=["rcm"],
+    ...                     records=[TaskRecord(problem="POW9", algorithm="rcm")])
+    >>> SuiteResult.from_json(suite.to_json()).to_dict() == suite.to_dict()
+    True
+    """
 
     problems: list
     algorithms: list
@@ -129,6 +187,7 @@ class SuiteResult:
     base_seed: int = 0
     records: list = field(default_factory=list)
     wall_time_s: float = 0.0
+    shard: tuple | None = None
     schema_version: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------ #
@@ -141,8 +200,13 @@ class SuiteResult:
 
     @property
     def failures(self) -> list:
-        """Structured failure records (tasks whose algorithm raised)."""
+        """Structured non-ok records (tasks that raised or timed out)."""
         return [record for record in self.records if not record.ok]
+
+    @property
+    def timeouts(self) -> list:
+        """Records of tasks cut off by the per-task timeout."""
+        return [record for record in self.records if record.timed_out]
 
     def record_for(self, problem: str, algorithm: str) -> TaskRecord:
         """The record of a specific cell (KeyError if absent)."""
@@ -183,8 +247,9 @@ class SuiteResult:
         ]
         for record in self.failures:
             error = record.error or {}
+            label = "TIMEOUT" if record.timed_out else "FAILED"
             lines.append(
-                f"FAILED {record.problem}/{record.algorithm}: "
+                f"{label} {record.problem}/{record.algorithm}: "
                 f"{error.get('type', 'Error')}: {error.get('message', '')}"
             )
         return "\n".join(lines)
@@ -203,6 +268,8 @@ class SuiteResult:
             "base_seed": int(self.base_seed),
             "records": [record.to_dict(include_timing=include_timing) for record in self.records],
         }
+        if self.shard is not None:
+            payload["shard"] = [int(self.shard[0]), int(self.shard[1])]
         if include_timing:
             payload["n_jobs"] = int(self.n_jobs)
             payload["wall_time_s"] = float(self.wall_time_s)
@@ -215,12 +282,27 @@ class SuiteResult:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SuiteResult":
-        version = payload.get("schema_version")
-        if version != SCHEMA_VERSION:
+        """Rebuild a suite from a schema-version 1 or 2 payload.
+
+        Raises
+        ------
+        SchemaVersionError
+            When the payload declares a version outside
+            :data:`READ_COMPAT_VERSIONS` (v1 artifacts — no ``shard`` key,
+            no ``"timeout"`` status — still load fine).
+        """
+        if not isinstance(payload, dict):
             raise ValueError(
-                f"unsupported suite schema version {version!r} "
-                f"(this build reads version {SCHEMA_VERSION})"
+                f"suite artifact must be a JSON object, got {type(payload).__name__}"
             )
+        version = payload.get("schema_version")
+        if version not in READ_COMPAT_VERSIONS:
+            raise SchemaVersionError(
+                f"unsupported suite schema version {version!r} "
+                f"(this build writes version {SCHEMA_VERSION} and reads "
+                f"{sorted(READ_COMPAT_VERSIONS)})"
+            )
+        shard = payload.get("shard")
         return cls(
             problems=list(payload.get("problems", [])),
             algorithms=list(payload.get("algorithms", [])),
@@ -229,6 +311,7 @@ class SuiteResult:
             base_seed=int(payload.get("base_seed", 0)),
             records=[TaskRecord.from_dict(r) for r in payload.get("records", [])],
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            shard=None if shard is None else (int(shard[0]), int(shard[1])),
             schema_version=int(version),
         )
 
@@ -263,7 +346,7 @@ class SuiteResult:
         agree.
         """
         differences: list[str] = []
-        for name in ("problems", "algorithms", "scale", "base_seed"):
+        for name in ("problems", "algorithms", "scale", "base_seed", "shard"):
             mine, theirs = getattr(self, name), getattr(other, name)
             if mine != theirs:
                 differences.append(f"{name}: {mine!r} != {theirs!r}")
@@ -297,3 +380,93 @@ class SuiteResult:
             if include_timing and a.time_s != b.time_s:
                 differences.append(f"{label}: time_s {a.time_s!r} != {b.time_s!r}")
         return differences
+
+
+def merge_results(suites) -> SuiteResult:
+    """Recombine shard artifacts into the equivalent single-machine result.
+
+    All inputs must share the same suite specification (``problems``,
+    ``algorithms``, ``scale``, ``base_seed``) and together must cover every
+    cell of the ``problems x algorithms`` cross-product exactly once.  The
+    merged result carries the records in canonical cross-product order with
+    ``shard=None``, so its canonical JSON (``to_json(include_timing=False)``)
+    is byte-identical to what one machine running the whole suite would have
+    written.  Timing fields aggregate: ``wall_time_s`` sums (total compute),
+    ``n_jobs`` takes the maximum.
+
+    Merging a single complete artifact is the identity in canonical form,
+    which makes ``repro merge`` safe to use as a validation pass.
+
+    >>> a = SuiteResult(problems=["POW9"], algorithms=["rcm", "gps"], shard=(1, 2),
+    ...                 records=[TaskRecord(problem="POW9", algorithm="rcm")])
+    >>> b = SuiteResult(problems=["POW9"], algorithms=["rcm", "gps"], shard=(2, 2),
+    ...                 records=[TaskRecord(problem="POW9", algorithm="gps")])
+    >>> merged = merge_results([a, b])
+    >>> merged.shard is None, [r.algorithm for r in merged.records]
+    (True, ['rcm', 'gps'])
+
+    Raises
+    ------
+    ValueError
+        When no artifacts are given, the specifications disagree, a cell is
+        recorded more than once (overlapping shards), a record falls outside
+        the specification, or cells are missing (incomplete shard set).
+    """
+    suites = list(suites)
+    if not suites:
+        raise ValueError("nothing to merge: no suite artifacts given")
+    reference = suites[0]
+    for position, suite in enumerate(suites[1:], start=2):
+        for name in ("problems", "algorithms", "scale", "base_seed"):
+            mine, theirs = getattr(reference, name), getattr(suite, name)
+            if mine != theirs:
+                raise ValueError(
+                    f"suite specification mismatch: artifact 1 has {name}="
+                    f"{mine!r} but artifact {position} has {name}={theirs!r}"
+                )
+
+    expected = [(p, a) for p in reference.problems for a in reference.algorithms]
+    expected_set = set(expected)
+    if len(expected) != len(expected_set):
+        raise ValueError(
+            "cannot merge a specification with duplicate (problem, algorithm) "
+            "cells"
+        )
+    by_cell: dict[tuple, TaskRecord] = {}
+    duplicates, unexpected = [], []
+    for suite in suites:
+        for record in suite.records:
+            cell = (record.problem, record.algorithm)
+            if cell not in expected_set:
+                unexpected.append(cell)
+            elif cell in by_cell:
+                duplicates.append(cell)
+            else:
+                by_cell[cell] = record
+    if unexpected:
+        raise ValueError(
+            f"record(s) outside the suite specification: "
+            f"{sorted(set(unexpected))}"
+        )
+    if duplicates:
+        raise ValueError(
+            f"overlapping shards: {len(duplicates)} cell(s) recorded more "
+            f"than once, e.g. {sorted(set(duplicates))[:3]}"
+        )
+    missing = [cell for cell in expected if cell not in by_cell]
+    if missing:
+        raise ValueError(
+            f"incomplete shard set: {len(missing)} of {len(expected)} "
+            f"cell(s) missing, e.g. {missing[:3]}"
+        )
+    return SuiteResult(
+        problems=list(reference.problems),
+        algorithms=list(reference.algorithms),
+        scale=reference.scale,
+        n_jobs=max(int(suite.n_jobs) for suite in suites),
+        base_seed=reference.base_seed,
+        records=[by_cell[cell] for cell in expected],
+        wall_time_s=float(sum(suite.wall_time_s for suite in suites)),
+        shard=None,
+        schema_version=SCHEMA_VERSION,
+    )

@@ -1,0 +1,185 @@
+"""Incremental JSONL result streaming — the crash-safe sink behind
+``repro suite --stream-output`` / ``--resume``.
+
+A suite run that dies halfway (OOM, preemption, Ctrl-C) loses nothing if its
+records were streamed: each completed :class:`~repro.batch.results.TaskRecord`
+is appended to a JSON-Lines file and flushed immediately, so the file is
+readable at every instant of the run.  Re-running with ``--resume`` loads the
+completed cells, validates that they belong to the same suite specification,
+and executes only the remainder.
+
+File format
+-----------
+One JSON object per line.  The first line is a header describing the suite
+specification; every following line is one task record::
+
+    {"kind": "header", "schema_version": 2, "engine": "repro.batch",
+     "problems": [...], "algorithms": [...], "scale": 0.02, "base_seed": 0,
+     "shard": null, "total_tasks": 12}
+    {"kind": "record", "problem": "CAN1072", "algorithm": "spectral",
+     "status": "ok", ...}
+
+Record lines carry exactly the fields of the artifact schema's ``records``
+entries (see ``docs/results-schema.md``), timing included.  A truncated final
+line — the signature of a killed run — is ignored on read.
+
+>>> header = stream_header(["POW9"], ["rcm"], scale=0.02, base_seed=0,
+...                        shard=None, total_tasks=1)
+>>> header["kind"], header["total_tasks"]
+('header', 1)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.batch.results import SCHEMA_VERSION, SchemaVersionError, TaskRecord
+
+__all__ = ["StreamWriter", "read_stream", "stream_header", "validate_stream_header"]
+
+_ENGINE_NAME = "repro.batch"
+
+
+def stream_header(
+    problems,
+    algorithms,
+    *,
+    scale: float | None,
+    base_seed: int,
+    shard: tuple | None,
+    total_tasks: int,
+) -> dict:
+    """The header object written as the first line of a stream file."""
+    return {
+        "kind": "header",
+        "schema_version": SCHEMA_VERSION,
+        "engine": _ENGINE_NAME,
+        "problems": list(problems),
+        "algorithms": list(algorithms),
+        "scale": scale,
+        "base_seed": int(base_seed),
+        "shard": None if shard is None else [int(shard[0]), int(shard[1])],
+        "total_tasks": int(total_tasks),
+    }
+
+
+def validate_stream_header(header: dict, expected: dict) -> None:
+    """Check that a stream file belongs to the suite about to run.
+
+    ``expected`` is a header built by :func:`stream_header` from the current
+    invocation.  Raises :exc:`SchemaVersionError` on an unreadable schema
+    version and :exc:`ValueError` on any specification mismatch — resuming a
+    different suite would silently drop tasks or mix seeds.
+    """
+    version = header.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"stream file has schema version {version!r}; this build "
+            f"streams version {SCHEMA_VERSION}"
+        )
+    for name in ("problems", "algorithms", "scale", "base_seed", "shard"):
+        mine, theirs = expected.get(name), header.get(name)
+        if mine != theirs:
+            raise ValueError(
+                f"stream file was written for a different suite: "
+                f"{name}={theirs!r} there vs {mine!r} now"
+            )
+
+
+class StreamWriter:
+    """Append-only JSONL sink; one flushed line per completed record.
+
+    Use as a context manager.  ``append=True`` (the resume case: new records
+    joining an existing file) skips the header line; a fresh file always
+    starts with one.
+    """
+
+    def __init__(self, path, header: dict, append: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if append and self.path.exists():
+            # A killed run may have left a truncated final line (no trailing
+            # newline); appending after it would corrupt the next record.
+            data = self.path.read_bytes()
+            if data and not data.endswith(b"\n"):
+                self.path.write_bytes(data[: data.rfind(b"\n") + 1])
+        self._file = self.path.open("a" if append else "w")
+        if not append:
+            self._write_line(header)
+
+    def _write_line(self, payload: dict) -> None:
+        self._file.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def write_record(self, record: TaskRecord) -> None:
+        """Append one task record (timing included) and flush."""
+        self._write_line({"kind": "record", **record.to_dict(include_timing=True)})
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_stream(path) -> tuple[dict, list[TaskRecord]]:
+    """Read a stream file back: ``(header, records)``.
+
+    Tolerates exactly the damage a killed run can cause — a truncated last
+    line — and rejects anything else (missing or malformed header, garbage
+    in the middle) as a corrupt file.
+
+    Raises
+    ------
+    ValueError
+        When the file is empty, does not start with a header line, or has a
+        malformed line anywhere but the end.
+    OSError
+        When the file cannot be read at all.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"stream file {path} is empty")
+    parsed = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines):
+                break  # truncated final write of a killed run
+            raise ValueError(
+                f"stream file {path} is corrupt: malformed JSON on line "
+                f"{number} (only the final line may be truncated)"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"stream file {path} is corrupt: line {number} is not a "
+                f"JSON object"
+            )
+        parsed.append(payload)
+    if not parsed or parsed[0].get("kind") != "header":
+        raise ValueError(
+            f"stream file {path} does not start with a header line"
+        )
+    header = parsed[0]
+    records = []
+    for payload in parsed[1:]:
+        if payload.get("kind") != "record":
+            raise ValueError(
+                f"stream file {path} contains an unknown line kind "
+                f"{payload.get('kind')!r}"
+            )
+        try:
+            records.append(TaskRecord.from_dict(payload))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"stream file {path} is corrupt: invalid record line "
+                f"({type(exc).__name__}: {exc})"
+            ) from None
+    return header, records

@@ -14,6 +14,15 @@ that a suite run is reproducible regardless of execution order, worker count
 or process boundaries, every task carries its own seed derived *only* from
 ``(base_seed, problem, algorithm)`` via :func:`derive_seed` — never from
 global state or task position.
+
+Sharding
+--------
+Because seeding is position-independent, the task list can be partitioned
+across machines without changing any result: :func:`shard_tasks` selects a
+stable round-robin slice ``k/n`` of the full expansion, and the JSON
+artifacts of the ``n`` slices recombine (``repro merge`` /
+:func:`repro.batch.results.merge_results`) into exactly the artifact a
+single-machine run would have produced.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from dataclasses import dataclass, field
 from repro.collections.registry import PAPER_PROBLEMS
 from repro.orderings.registry import ORDERING_ALGORITHMS
 
-__all__ = ["BatchTask", "build_tasks", "derive_seed"]
+__all__ = ["BatchTask", "build_tasks", "derive_seed", "parse_shard", "shard_tasks"]
 
 
 def derive_seed(base_seed: int, problem: str, algorithm: str) -> int:
@@ -33,6 +42,11 @@ def derive_seed(base_seed: int, problem: str, algorithm: str) -> int:
     Stable across processes and Python versions (SHA-256 based, not
     ``hash()``), so serial and parallel runs of the same suite see identical
     seeds.
+
+    >>> derive_seed(0, "POW9", "rcm")
+    3565120006
+    >>> derive_seed(1, "POW9", "rcm")   # base_seed perturbs every task seed
+    2978033378
     """
     text = f"{int(base_seed)}:{problem}:{algorithm}"
     digest = hashlib.sha256(text.encode("utf-8")).digest()
@@ -84,6 +98,10 @@ def build_tasks(
     ``tasks[i].index == i`` always holds and a serial run executes the exact
     sequence a parallel run distributes.
 
+    >>> tasks = build_tasks(["POW9", "CAN1072"], ("rcm", "gps"), scale=0.02)
+    >>> [(t.index, t.problem, t.algorithm) for t in tasks]
+    [(0, 'POW9', 'rcm'), (1, 'POW9', 'gps'), (2, 'CAN1072', 'rcm'), (3, 'CAN1072', 'gps')]
+
     Raises
     ------
     ValueError
@@ -119,3 +137,65 @@ def build_tasks(
                 )
             )
     return tasks
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a ``"K/N"`` shard specification into ``(K, N)``.
+
+    >>> parse_shard("2/3")
+    (2, 3)
+    >>> parse_shard("4/3")
+    Traceback (most recent call last):
+        ...
+    ValueError: shard index 4 out of range for 'K/N' with N=3 (need 1 <= K <= N)
+    """
+    try:
+        index_text, count_text = str(text).split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid shard specification {text!r}: expected 'K/N', e.g. '2/3'"
+        ) from None
+    if count < 1:
+        raise ValueError(f"shard count must be positive, got {count}")
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"shard index {index} out of range for 'K/N' with N={count} "
+            f"(need 1 <= K <= N)"
+        )
+    return index, count
+
+
+def shard_tasks(tasks, shard_index: int, shard_count: int) -> list[BatchTask]:
+    """Deterministic round-robin slice ``shard_index/shard_count`` of a task list.
+
+    Task ``i`` of the full expansion belongs to shard ``(i % shard_count) + 1``
+    (shards are 1-based, matching the CLI's ``--shard K/N``).  The partition
+    is a pure function of the task indices, so ``shard_count`` machines given
+    the same suite specification run disjoint slices whose union is exactly
+    the full task list — and round-robin keeps each slice's mix of cheap and
+    expensive problems balanced.
+
+    >>> tasks = build_tasks(["POW9", "CAN1072"], ("rcm", "gps"), scale=0.02)
+    >>> [(t.problem, t.algorithm) for t in shard_tasks(tasks, 1, 3)]
+    [('POW9', 'rcm'), ('CAN1072', 'gps')]
+    >>> [(t.problem, t.algorithm) for t in shard_tasks(tasks, 3, 3)]
+    [('CAN1072', 'rcm')]
+    >>> sorted(t.index for shard in (1, 2, 3)
+    ...        for t in shard_tasks(tasks, shard, 3)) == [t.index for t in tasks]
+    True
+
+    Raises
+    ------
+    ValueError
+        When ``shard_index`` is outside ``1..shard_count``.
+    """
+    shard_index, shard_count = int(shard_index), int(shard_count)
+    if shard_count < 1:
+        raise ValueError(f"shard count must be positive, got {shard_count}")
+    if not 1 <= shard_index <= shard_count:
+        raise ValueError(
+            f"shard index {shard_index} out of range for shard count "
+            f"{shard_count} (need 1 <= index <= count)"
+        )
+    return [task for task in tasks if task.index % shard_count == shard_index - 1]

@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five subcommands cover the workflows a downstream user of an envelope solver
-actually runs:
+The subcommands cover the workflows a downstream user of an envelope solver
+actually runs (full reference: ``docs/running.md``):
 
 ``reorder``
     Read a matrix (Matrix Market or Harwell-Boeing), compute an
@@ -20,11 +20,24 @@ actually runs:
         repro suite --jobs 4 --output results.json
         repro suite POW9 BARTH4 --algorithms rcm,spectral --scale 0.05 \\
             --baseline results.json
+        repro suite --shard 2/3 --timeout 120 \\
+            --stream-output shard2.jsonl --output shard2.json
 
     ``--output`` saves a versioned JSON artifact (see
     :mod:`repro.batch.results` for the schema); ``--baseline`` diffs the run
     against a saved artifact, ignoring timing fields, and exits nonzero on
-    drift.
+    drift.  ``--shard K/N`` runs the k-th of N disjoint slices (one machine
+    each), ``--timeout`` bounds every task, and ``--stream-output`` /
+    ``--resume`` make a killed run restartable from its JSONL record stream.
+
+``merge``
+    Recombine the shard artifacts of a distributed suite run::
+
+        repro merge shard1.json shard2.json shard3.json --output full.json
+
+    Validates schema versions, specification compatibility and
+    duplicate/missing cells; the merged artifact is byte-identical in
+    canonical form to a single-machine run.
 
 ``spy``
     Print an ASCII structure plot of a matrix under a chosen ordering
@@ -42,12 +55,23 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.report import format_table
 from repro.analysis.runner import run_comparison
-from repro.batch import SuiteResult, run_suite
+from repro.batch import (
+    SchemaVersionError,
+    StreamWriter,
+    SuiteResult,
+    merge_results,
+    parse_shard,
+    read_stream,
+    run_suite,
+    stream_header,
+    validate_stream_header,
+)
 from repro.analysis.spy import ascii_spy, band_profile
 from repro.collections.registry import available_problems, load_problem
 from repro.core.pipeline import reorder
@@ -131,6 +155,55 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+class _ProgressLine:
+    """Live per-task progress on stderr: an updating ``\\r`` line on a TTY,
+    one line per completed task otherwise."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._width = 0
+
+    def update(self, record, done: int, total: int) -> None:
+        line = (
+            f"[{done}/{total}] {record.problem}/{record.algorithm}: "
+            f"{record.status} ({record.time_s:.2f} s)"
+        )
+        if self.is_tty:
+            padding = " " * max(0, self._width - len(line))
+            self._width = len(line)
+            self.stream.write(f"\r{line}{padding}")
+            self.stream.flush()
+        else:
+            print(line, file=self.stream)
+
+    def finish(self) -> None:
+        if self.is_tty and self._width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._width = 0
+
+
+def _load_artifact(path: str, role: str) -> "SuiteResult | int":
+    """Load a results artifact for the CLI, or return exit code 2.
+
+    The three failure modes get distinct messages: an unreadable file, a
+    file that is not a results artifact at all, and a results artifact whose
+    schema version this build cannot read.
+    """
+    try:
+        return SuiteResult.load(path)
+    except SchemaVersionError as exc:
+        print(f"{role} {path}: results-schema mismatch: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot read {role} file {path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{role} {path} is not a valid results artifact: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_suite(args) -> int:
     if args.table and args.problems:
         print("give either problem names or --table, not both", file=sys.stderr)
@@ -142,6 +215,82 @@ def _cmd_suite(args) -> int:
     else:
         problems = available_problems()
     algorithms = tuple(args.algorithms.split(",")) if args.algorithms else PAPER_ALGORITHMS
+
+    shard = None
+    if args.shard:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
+    normalized = [str(name).strip().upper() for name in problems]
+    total_tasks = len(normalized) * len(algorithms)
+    if shard is not None:
+        index, count = shard
+        total_tasks = len(range(index - 1, total_tasks, count))
+    expected_header = stream_header(
+        normalized,
+        list(algorithms),
+        scale=args.scale,
+        base_seed=args.seed,
+        shard=shard,
+        total_tasks=total_tasks,
+    )
+
+    stream_path = Path(args.stream_output) if args.stream_output else None
+    resume_path = Path(args.resume) if args.resume else None
+    completed = []
+    if resume_path is not None:
+        if not resume_path.exists() and resume_path == stream_path:
+            # Idempotent first run: --resume pointing at the sink that does
+            # not exist yet simply starts fresh.
+            print(f"resume file {resume_path} not found; starting fresh",
+                  file=sys.stderr)
+        else:
+            try:
+                header, completed = read_stream(resume_path)
+            except OSError as exc:
+                print(f"cannot read resume file {resume_path}: {exc}", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            try:
+                validate_stream_header(header, expected_header)
+            except ValueError as exc:
+                print(f"cannot resume from {resume_path}: {exc}", file=sys.stderr)
+                return 2
+            # Timeout records are machine/limit artifacts, not results:
+            # retry those cells (possibly under a new --timeout) instead of
+            # carrying the timeout forward.
+            retry = [r for r in completed if r.timed_out]
+            if retry:
+                completed = [r for r in completed if not r.timed_out]
+                print(f"retrying {len(retry)} timed-out cell(s) from {resume_path}",
+                      file=sys.stderr)
+
+    writer = None
+    append = bool(completed) and resume_path == stream_path
+    if stream_path is not None:
+        writer = StreamWriter(stream_path, expected_header, append=append)
+    progress = None
+    if args.progress or (args.progress is None and sys.stderr.isatty()):
+        progress = _ProgressLine()
+
+    # run_suite replays reused records through on_record first; when
+    # appending to the very file they came from, don't write them twice.
+    skip_writes = {"remaining": len(completed) if append else 0}
+
+    def on_record(record, done, total):
+        if progress is not None:
+            progress.update(record, done, total)
+        if writer is not None:
+            if skip_writes["remaining"] > 0:
+                skip_writes["remaining"] -= 1
+            else:
+                writer.write_record(record)
+
     try:
         suite = run_suite(
             problems,
@@ -149,25 +298,40 @@ def _cmd_suite(args) -> int:
             scale=args.scale,
             n_jobs=args.jobs,
             base_seed=args.seed,
+            shard=shard,
+            timeout=args.timeout,
+            completed=completed,
+            on_record=on_record,
         )
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    finally:
+        if progress is not None:
+            progress.finish()
+        if writer is not None:
+            writer.close()
+
     print(suite.to_text())
     ok, failed = len(suite.ok_records), len(suite.failures)
-    print(
-        f"\n{ok + failed} task(s) in {suite.wall_time_s:.2f} s "
+    timed_out = len(suite.timeouts)
+    shard_label = f" (shard {shard[0]}/{shard[1]})" if shard else ""
+    summary = (
+        f"\n{ok + failed} task(s){shard_label} in {suite.wall_time_s:.2f} s "
         f"with {suite.n_jobs} job(s): {ok} ok, {failed} failed"
     )
+    if timed_out:
+        summary += f" ({timed_out} timed out)"
+    if completed:
+        summary += f"; {len(completed)} reused from {resume_path}"
+    print(summary)
     if args.output:
         suite.save(args.output)
         print(f"results written to {args.output}")
     if args.baseline:
-        try:
-            baseline = SuiteResult.load(args.baseline)
-        except (OSError, ValueError) as exc:
-            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
-            return 2
+        baseline = _load_artifact(args.baseline, "baseline")
+        if isinstance(baseline, int):
+            return baseline
         differences = baseline.diff(suite)
         if differences:
             print(f"{len(differences)} difference(s) vs baseline {args.baseline}:",
@@ -177,6 +341,33 @@ def _cmd_suite(args) -> int:
             return 1
         print(f"matches baseline {args.baseline} (timing fields excluded)")
     return 1 if suite.failures else 0
+
+
+def _cmd_merge(args) -> int:
+    suites = []
+    for path in args.inputs:
+        suite = _load_artifact(path, "shard artifact")
+        if isinstance(suite, int):
+            return suite
+        suites.append(suite)
+    try:
+        merged = merge_results(suites)
+    except ValueError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 2
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(merged.to_json(include_timing=not args.canonical))
+    form = "canonical (timing-free)" if args.canonical else "full"
+    print(
+        f"merged {len(merged.records)} record(s) from {len(suites)} artifact(s) "
+        f"into {output} ({form} form)"
+    )
+    failed = len(merged.failures)
+    if failed:
+        print(f"warning: {failed} non-ok record(s) in the merged suite",
+              file=sys.stderr)
+    return 0
 
 
 def _cmd_spy(args) -> int:
@@ -265,11 +456,38 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes (1 = serial, identical results)")
     suite_parser.add_argument("--seed", type=int, default=0,
                               help="base seed of the deterministic per-task seeding")
+    suite_parser.add_argument("--shard", default=None, metavar="K/N",
+                              help="run only the k-th of N disjoint task slices "
+                                   "(merge the artifacts with 'repro merge')")
+    suite_parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                              help="per-task wall-clock limit; overrunning tasks are "
+                                   "terminated and recorded with status 'timeout'")
     suite_parser.add_argument("--output", default=None,
                               help="write the versioned JSON results artifact here")
+    suite_parser.add_argument("--stream-output", default=None, metavar="PATH.jsonl",
+                              help="append each record to this JSONL file as it "
+                                   "completes (crash-safe incremental sink)")
+    suite_parser.add_argument("--resume", default=None, metavar="PATH.jsonl",
+                              help="reuse the completed records of a killed run's "
+                                   "--stream-output file and run only the rest")
     suite_parser.add_argument("--baseline", default=None,
                               help="diff against a saved results.json (exit 1 on drift)")
+    suite_parser.add_argument("--progress", default=None, action=argparse.BooleanOptionalAction,
+                              help="live per-task progress on stderr "
+                                   "(default: only when stderr is a terminal)")
     suite_parser.set_defaults(func=_cmd_suite)
+
+    merge_parser = sub.add_parser(
+        "merge", help="recombine shard artifacts of a distributed suite run"
+    )
+    merge_parser.add_argument("inputs", nargs="+", metavar="SHARD.json",
+                              help="shard artifacts written by 'repro suite --shard K/N'")
+    merge_parser.add_argument("--output", required=True,
+                              help="write the merged JSON results artifact here")
+    merge_parser.add_argument("--canonical", action="store_true",
+                              help="write the canonical (timing-free) form, the one "
+                                   "golden tests compare byte-for-byte")
+    merge_parser.set_defaults(func=_cmd_merge)
 
     spy_parser = sub.add_parser("spy", help="ASCII structure plot under an ordering")
     spy_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")

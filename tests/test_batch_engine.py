@@ -142,6 +142,19 @@ class TestRunSuite:
         suite = run_suite(["POW9"], ("rcm",), scale=SCALE, keep_orderings=False)
         assert all(record.ordering is None for record in suite.records)
 
+    def test_parallel_shard_matches_serial_shard(self):
+        serial = run_suite(["POW9", "CAN1072"], ("rcm", "gps"), scale=SCALE,
+                           n_jobs=1, shard=(1, 2))
+        parallel = run_suite(["POW9", "CAN1072"], ("rcm", "gps"), scale=SCALE,
+                             n_jobs=2, shard=(1, 2))
+        assert serial.to_json(include_timing=False) == parallel.to_json(include_timing=False)
+
+    def test_records_in_task_order_regardless_of_completion_order(self):
+        suite = run_suite(["POW9", "CAN1072"], ("rcm", "gps"), scale=SCALE, n_jobs=4)
+        assert [(r.problem, r.algorithm) for r in suite.records] == [
+            ("POW9", "rcm"), ("POW9", "gps"), ("CAN1072", "rcm"), ("CAN1072", "gps"),
+        ]
+
     @pytest.mark.slow
     def test_parallel_four_jobs_matches_serial_on_paper_algorithms(self):
         problems = ["POW9", "CAN1072", "DWT2680"]

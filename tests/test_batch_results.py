@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.batch.results import SCHEMA_VERSION, SuiteResult, TaskRecord
+from repro.batch.results import (
+    READ_COMPAT_VERSIONS,
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    SuiteResult,
+    TaskRecord,
+)
 
 
 def _ok_record(problem="POW9", algorithm="rcm", envelope=100, time_s=0.5):
@@ -28,6 +34,18 @@ def _failed_record(problem="POW9", algorithm="boom"):
         status="error",
         seed=8,
         error={"type": "RuntimeError", "message": "kaboom", "traceback": "Traceback ..."},
+    )
+
+
+def _timeout_record(problem="POW9", algorithm="slow"):
+    return TaskRecord(
+        problem=problem,
+        algorithm=algorithm,
+        status="timeout",
+        seed=9,
+        time_s=2.0,
+        error={"type": "TaskTimeout", "message": "task exceeded the per-task timeout of 2 s",
+               "traceback": None},
     )
 
 
@@ -71,12 +89,56 @@ class TestSuiteResult:
     def test_unsupported_schema_version_rejected(self, suite):
         payload = suite.to_dict()
         payload["schema_version"] = 999
-        with pytest.raises(ValueError, match="schema version"):
+        with pytest.raises(SchemaVersionError, match="schema version"):
             SuiteResult.from_dict(payload)
 
+    def test_schema_version_error_is_a_value_error(self):
+        assert issubclass(SchemaVersionError, ValueError)
+
     def test_missing_schema_version_rejected(self):
-        with pytest.raises(ValueError, match="schema version"):
+        with pytest.raises(SchemaVersionError, match="schema version"):
             SuiteResult.from_json("{}")
+
+    def test_non_object_json_rejected_as_value_error(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            SuiteResult.from_json("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            SuiteResult.from_json('"just a string"')
+
+    def test_v1_artifact_still_loads(self, suite):
+        assert 1 in READ_COMPAT_VERSIONS
+        payload = suite.to_dict()
+        payload["schema_version"] = 1
+        loaded = SuiteResult.from_dict(payload)
+        assert loaded.schema_version == 1
+        assert loaded.shard is None
+        assert [r.algorithm for r in loaded.records] == ["rcm", "gps", "boom"]
+
+    def test_shard_round_trips_and_is_absent_when_none(self, suite):
+        assert "shard" not in suite.to_dict()
+        suite.shard = (2, 3)
+        payload = suite.to_dict()
+        assert payload["shard"] == [2, 3]
+        assert SuiteResult.from_dict(payload).shard == (2, 3)
+        # canonical form keeps the shard marker: it is spec, not timing
+        assert suite.to_dict(include_timing=False)["shard"] == [2, 3]
+
+    def test_timeout_record_round_trips(self):
+        record = _timeout_record()
+        assert not record.ok and record.timed_out
+        reloaded = TaskRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert reloaded.status == "timeout"
+        assert reloaded.error["type"] == "TaskTimeout"
+
+    def test_timeouts_property_and_to_text_label(self):
+        suite = SuiteResult(
+            problems=["POW9"],
+            algorithms=["rcm", "slow"],
+            records=[_ok_record(), _timeout_record()],
+        )
+        assert [r.algorithm for r in suite.timeouts] == ["slow"]
+        assert [r.algorithm for r in suite.failures] == ["slow"]
+        assert "TIMEOUT POW9/slow: TaskTimeout" in suite.to_text()
 
     def test_canonical_form_drops_all_timing_fields(self, suite):
         payload = suite.to_dict(include_timing=False)
@@ -143,6 +205,11 @@ class TestDiff:
         other = SuiteResult.from_json(suite.to_json())
         other.scale = 0.05
         assert any(line.startswith("scale") for line in suite.diff(other))
+
+    def test_shard_drift_detected(self, suite):
+        other = SuiteResult.from_json(suite.to_json())
+        other.shard = (1, 3)
+        assert any(line.startswith("shard") for line in suite.diff(other))
 
     def test_traceback_text_ignored(self, suite):
         other = SuiteResult.from_json(suite.to_json())

@@ -1,0 +1,161 @@
+"""Shard partitioning and artifact merging (repro.batch.tasks / results).
+
+Covers the edge cases the distributed workflow can hit: overlapping shard
+sets, mismatched specifications and schema versions, empty shards,
+merge-of-one, and shard counts exceeding the task count.
+"""
+
+import pytest
+
+from repro.batch import (
+    SuiteResult,
+    build_tasks,
+    merge_results,
+    parse_shard,
+    run_suite,
+    shard_tasks,
+)
+
+SCALE = 0.02
+PROBLEMS = ["POW9", "CAN1072"]
+ALGORITHMS = ("rcm", "gps")
+
+
+def _shard_runs(count):
+    return [
+        run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, shard=(k, count))
+        for k in range(1, count + 1)
+    ]
+
+
+class TestParseShard:
+    def test_valid(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("3/8") == (3, 8)
+
+    @pytest.mark.parametrize("text", ["", "3", "0/2", "4/3", "-1/2", "1/0", "a/b", "1/2/3"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+
+class TestShardTasks:
+    def test_round_robin_partition_is_disjoint_and_complete(self):
+        tasks = build_tasks(PROBLEMS, ALGORITHMS, scale=SCALE)
+        seen = []
+        for k in (1, 2, 3):
+            seen.extend(t.index for t in shard_tasks(tasks, k, 3))
+        assert sorted(seen) == [t.index for t in tasks]
+
+    def test_shard_of_one_is_identity(self):
+        tasks = build_tasks(PROBLEMS, ALGORITHMS, scale=SCALE)
+        assert shard_tasks(tasks, 1, 1) == tasks
+
+    def test_more_shards_than_tasks_gives_empty_slices(self):
+        tasks = build_tasks(["POW9"], ("rcm",), scale=SCALE)
+        assert shard_tasks(tasks, 1, 5) == tasks
+        for k in (2, 3, 4, 5):
+            assert shard_tasks(tasks, k, 5) == []
+
+    def test_out_of_range_rejected(self):
+        tasks = build_tasks(PROBLEMS, ALGORITHMS, scale=SCALE)
+        with pytest.raises(ValueError, match="shard index"):
+            shard_tasks(tasks, 0, 3)
+        with pytest.raises(ValueError, match="shard index"):
+            shard_tasks(tasks, 4, 3)
+        with pytest.raises(ValueError, match="shard count"):
+            shard_tasks(tasks, 1, 0)
+
+
+class TestShardedRunSuite:
+    def test_shard_recorded_in_result_and_artifact(self):
+        shard = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, shard=(2, 2))
+        assert shard.shard == (2, 2)
+        assert shard.problems == PROBLEMS  # full spec, partial records
+        assert len(shard.records) == 2
+        reloaded = SuiteResult.from_json(shard.to_json())
+        assert reloaded.shard == (2, 2)
+
+    def test_empty_shard_runs_clean(self):
+        shard = run_suite(["POW9"], ("rcm",), scale=SCALE, shard=(3, 5))
+        assert shard.records == [] and shard.failures == []
+        assert SuiteResult.from_json(shard.to_json()).shard == (3, 5)
+
+    def test_invalid_shard_rejected_up_front(self):
+        with pytest.raises(ValueError, match="shard index"):
+            run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, shard=(3, 2))
+
+
+class TestMerge:
+    def test_merge_reproduces_single_run_canonically(self):
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        merged = merge_results(_shard_runs(3))
+        assert merged.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+    def test_merge_of_one_complete_artifact_is_identity(self):
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        merged = merge_results([full])
+        assert merged.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+    def test_merge_includes_empty_shards(self):
+        # 4 tasks over 6 shards: shards 5 and 6 are empty but still required
+        shards = [
+            run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, shard=(k, 6))
+            for k in range(1, 7)
+        ]
+        assert [len(s.records) for s in shards] == [1, 1, 1, 1, 0, 0]
+        merged = merge_results(shards)
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        assert merged.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+    def test_merge_survives_json_round_trip(self, tmp_path):
+        paths = []
+        for k, shard in enumerate(_shard_runs(2), start=1):
+            paths.append(shard.save(tmp_path / f"shard{k}.json"))
+        merged = merge_results([SuiteResult.load(p) for p in paths])
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        assert merged.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+    def test_merge_aggregates_timing(self):
+        shards = _shard_runs(2)
+        merged = merge_results(shards)
+        assert merged.wall_time_s == pytest.approx(sum(s.wall_time_s for s in shards))
+        assert merged.n_jobs == max(s.n_jobs for s in shards)
+
+    def test_nothing_to_merge_rejected(self):
+        with pytest.raises(ValueError, match="nothing to merge"):
+            merge_results([])
+
+    def test_overlapping_shards_rejected(self):
+        shards = _shard_runs(2)
+        with pytest.raises(ValueError, match="overlapping shards"):
+            merge_results([shards[0], shards[0], shards[1]])
+
+    def test_missing_shard_rejected(self):
+        shards = _shard_runs(3)
+        with pytest.raises(ValueError, match="incomplete shard set"):
+            merge_results(shards[:2])
+
+    def test_spec_mismatch_rejected(self):
+        a = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, shard=(1, 2))
+        b = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, base_seed=1, shard=(2, 2))
+        with pytest.raises(ValueError, match="specification mismatch.*base_seed"):
+            merge_results([a, b])
+
+    def test_record_outside_spec_rejected(self):
+        a = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        b = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        b.records[0].algorithm = "nosuch"
+        with pytest.raises(ValueError, match="outside the suite specification"):
+            merge_results([a, b])
+
+    def test_v1_artifact_merges_with_v2(self):
+        """v1 read-compat extends to merging: a v1 shard + a v2 shard merge."""
+        shards = _shard_runs(2)
+        payload = shards[0].to_dict()
+        payload["schema_version"] = 1
+        del payload["shard"]
+        v1_shard = SuiteResult.from_dict(payload)
+        merged = merge_results([v1_shard, shards[1]])
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        assert merged.to_json(include_timing=False) == full.to_json(include_timing=False)

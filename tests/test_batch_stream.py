@@ -1,0 +1,219 @@
+"""Streaming result collection, resume, and per-task timeouts
+(repro.batch.stream / repro.batch.engine).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.batch import (
+    StreamWriter,
+    build_tasks,
+    iter_suite,
+    read_stream,
+    run_suite,
+    stream_header,
+    validate_stream_header,
+)
+from repro.batch.results import SchemaVersionError
+from repro.orderings.registry import ORDERING_ALGORITHMS
+
+SCALE = 0.02
+PROBLEMS = ["POW9", "CAN1072"]
+ALGORITHMS = ("rcm", "gps")
+
+
+def _header(**overrides):
+    base = dict(
+        problems=["POW9", "CAN1072"],
+        algorithms=list(ALGORITHMS),
+        scale=SCALE,
+        base_seed=0,
+        shard=None,
+        total_tasks=4,
+    )
+    base.update(overrides)
+    return stream_header(base.pop("problems"), base.pop("algorithms"), **base)
+
+
+class TestIterSuite:
+    def test_serial_yields_in_task_order(self):
+        tasks = build_tasks(PROBLEMS, ALGORITHMS, scale=SCALE)
+        indices = [task.index for task, _record in iter_suite(tasks, n_jobs=1)]
+        assert indices == [0, 1, 2, 3]
+
+    def test_parallel_yields_every_task_once(self):
+        tasks = build_tasks(PROBLEMS, ALGORITHMS, scale=SCALE)
+        pairs = list(iter_suite(tasks, n_jobs=2))
+        assert sorted(task.index for task, _record in pairs) == [0, 1, 2, 3]
+        assert all(record.ok for _task, record in pairs)
+
+    def test_invalid_timeout_rejected(self):
+        tasks = build_tasks(["POW9"], ("rcm",), scale=SCALE)
+        with pytest.raises(ValueError, match="timeout"):
+            list(iter_suite(tasks, timeout=0))
+
+
+class TestOnRecord:
+    def test_callback_sees_every_record_and_counts(self):
+        seen = []
+        suite = run_suite(
+            PROBLEMS, ALGORITHMS, scale=SCALE,
+            on_record=lambda record, done, total: seen.append((done, total, record.status)),
+        )
+        assert [done for done, _total, _status in seen] == [1, 2, 3, 4]
+        assert all(total == 4 for _done, total, _status in seen)
+        assert len(suite.records) == 4
+
+
+class TestTimeout:
+    def test_sleeping_task_yields_timeout_record_without_stalling(self, monkeypatch):
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy", lambda p: time.sleep(60))
+        start = time.monotonic()
+        suite = run_suite(["POW9"], ("rcm", "sleepy"), scale=SCALE,
+                          n_jobs=2, timeout=1.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 30  # nowhere near the 60 s sleep
+        by_algorithm = {r.algorithm: r for r in suite.records}
+        assert by_algorithm["rcm"].ok
+        record = by_algorithm["sleepy"]
+        assert record.status == "timeout" and record.timed_out
+        assert record.error["type"] == "TaskTimeout"
+        assert suite.timeouts == [record]
+
+    def test_fast_tasks_unaffected_by_timeout(self):
+        with_limit = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, timeout=120.0)
+        without = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        assert with_limit.to_json(include_timing=False) == without.to_json(include_timing=False)
+
+    def test_serial_run_with_timeout_uses_worker_process(self, monkeypatch):
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy", lambda p: time.sleep(60))
+        suite = run_suite(["POW9"], ("sleepy", "rcm"), scale=SCALE,
+                          n_jobs=1, timeout=0.5)
+        statuses = {r.algorithm: r.status for r in suite.records}
+        assert statuses == {"sleepy": "timeout", "rcm": "ok"}
+
+
+class TestStreamFile:
+    def test_writer_then_reader_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        suite = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        with StreamWriter(path, _header()) as writer:
+            for record in suite.records:
+                writer.write_record(record)
+        header, records = read_stream(path)
+        assert header["total_tasks"] == 4
+        assert [r.to_dict() for r in records] == [r.to_dict() for r in suite.records]
+
+    def test_truncated_final_line_ignored(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        suite = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        with StreamWriter(path, _header()) as writer:
+            for record in suite.records:
+                writer.write_record(record)
+        text = path.read_text()
+        path.write_text(text[:-40])  # kill mid-write
+        _header_read, records = read_stream(path)
+        assert len(records) == len(suite.records) - 1
+
+    def test_append_after_truncation_drops_partial_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        suite = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        with StreamWriter(path, _header()) as writer:
+            for record in suite.records[:2]:
+                writer.write_record(record)
+        path.write_bytes(path.read_bytes()[:-30])  # truncated final record
+        with StreamWriter(path, _header(), append=True) as writer:
+            writer.write_record(suite.records[1])
+            writer.write_record(suite.records[2])
+        _header_read, records = read_stream(path)
+        keys = [(r.problem, r.algorithm) for r in records]
+        assert keys == [(r.problem, r.algorithm) for r in suite.records[:3]]
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        lines = [json.dumps(_header()), "{garbage", json.dumps({"kind": "record",
+                 "problem": "POW9", "algorithm": "rcm"})]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            read_stream(path)
+
+    def test_record_line_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps(_header()) + "\n"
+                        + json.dumps({"kind": "record"}) + "\n"
+                        + json.dumps({"kind": "record", "problem": "POW9",
+                                      "algorithm": "rcm"}) + "\n")
+        with pytest.raises(ValueError, match="invalid record line"):
+            read_stream(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps(_header()) + "\n[1, 2]\n"
+                        + json.dumps({"kind": "record", "problem": "POW9",
+                                      "algorithm": "rcm"}) + "\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_stream(path)
+
+    def test_empty_or_headerless_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_stream(empty)
+        headerless = tmp_path / "headerless.jsonl"
+        headerless.write_text(json.dumps({"kind": "record", "problem": "POW9",
+                                          "algorithm": "rcm"}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            read_stream(headerless)
+
+
+class TestHeaderValidation:
+    def test_matching_header_passes(self):
+        validate_stream_header(_header(), _header())
+
+    @pytest.mark.parametrize("field, value", [
+        ("problems", ["POW9"]),
+        ("algorithms", ["rcm"]),
+        ("scale", 0.05),
+        ("base_seed", 3),
+        ("shard", (1, 2)),
+    ])
+    def test_spec_mismatch_rejected(self, field, value):
+        with pytest.raises(ValueError, match="different suite"):
+            validate_stream_header(_header(**{field: value}), _header())
+
+    def test_schema_version_mismatch_rejected(self):
+        stale = _header()
+        stale["schema_version"] = 1
+        with pytest.raises(SchemaVersionError, match="schema version"):
+            validate_stream_header(stale, _header())
+
+
+class TestResume:
+    def test_resume_reuses_completed_and_runs_rest(self, tmp_path):
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        completed = full.records[:3]
+        executed = []
+        resumed = run_suite(
+            PROBLEMS, ALGORITHMS, scale=SCALE, completed=completed,
+            on_record=lambda record, done, total: executed.append(record),
+        )
+        # reused records come back verbatim (same objects), the rest fresh
+        assert resumed.records[:3] == completed
+        assert resumed.to_json(include_timing=False) == full.to_json(include_timing=False)
+        assert len(executed) == 4
+
+    def test_resume_after_kill_round_trip(self, tmp_path):
+        """Acceptance path: stream, kill mid-write, resume from the stream."""
+        path = tmp_path / "run.jsonl"
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        with StreamWriter(path, _header()) as writer:
+            for record in full.records:
+                writer.write_record(record)
+        path.write_bytes(path.read_bytes()[:-25])  # the kill
+        header, completed = read_stream(path)
+        validate_stream_header(header, _header())
+        assert len(completed) == 3
+        resumed = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, completed=completed)
+        assert resumed.to_json(include_timing=False) == full.to_json(include_timing=False)

@@ -129,8 +129,10 @@ class TestSuiteCommand:
         assert code == 0
         import json
 
+        from repro.batch import SCHEMA_VERSION
+
         payload = json.loads(out.read_text())
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["n_jobs"] == 2
         assert len(payload["records"]) == 4
         assert all(r["status"] == "ok" for r in payload["records"])
@@ -165,6 +167,199 @@ class TestSuiteCommand:
         code = main(["suite", "NOSUCH", "--scale", "0.02"])
         assert code == 2
         assert "unknown problem" in capsys.readouterr().err
+
+    def test_suite_baseline_unreadable_vs_schema_mismatch_messages(self, tmp_path, capsys):
+        """The two --baseline failure modes must be distinguishable (both exit 2)."""
+        code = main(self.ARGS + ["--baseline", str(tmp_path / "nosuch.json")])
+        assert code == 2
+        assert "cannot read baseline file" in capsys.readouterr().err
+
+        import json
+
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"schema_version": 999, "records": []}))
+        code = main(self.ARGS + ["--baseline", str(stale)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "results-schema mismatch" in err and "cannot read" not in err
+
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json at all")
+        code = main(self.ARGS + ["--baseline", str(garbage)])
+        assert code == 2
+        assert "not a valid results artifact" in capsys.readouterr().err
+
+
+class TestSuiteShardingCli:
+    ARGS = ["suite", "POW9", "CAN1072", "--algorithms", "rcm,gps", "--scale", "0.02"]
+
+    def test_shard_runs_slice_and_records_shard(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "shard1.json"
+        code = main(self.ARGS + ["--shard", "1/2", "--output", str(out)])
+        assert code == 0
+        assert "(shard 1/2)" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["shard"] == [1, 2]
+        assert len(payload["records"]) == 2
+
+    def test_invalid_shard_spec_errors(self, capsys):
+        assert main(self.ARGS + ["--shard", "5/2"]) == 2
+        assert "shard index" in capsys.readouterr().err
+        assert main(self.ARGS + ["--shard", "abc"]) == 2
+        assert "invalid shard specification" in capsys.readouterr().err
+
+    def test_merge_recombines_shards_byte_identically(self, tmp_path, capsys):
+        from repro.batch import SuiteResult
+
+        paths = []
+        for k in (1, 2):
+            path = tmp_path / f"shard{k}.json"
+            assert main(self.ARGS + ["--shard", f"{k}/2", "--output", str(path)]) == 0
+            paths.append(str(path))
+        full_path = tmp_path / "full.json"
+        assert main(self.ARGS + ["--output", str(full_path)]) == 0
+        merged_path = tmp_path / "merged.json"
+        code = main(["merge", *paths, "--output", str(merged_path)])
+        assert code == 0
+        assert "merged 4 record(s) from 2 artifact(s)" in capsys.readouterr().out
+        merged = SuiteResult.load(merged_path)
+        full = SuiteResult.load(full_path)
+        assert merged.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+    def test_merge_canonical_writes_timing_free_artifact(self, tmp_path):
+        import json
+
+        path = tmp_path / "full.json"
+        assert main(self.ARGS + ["--output", str(path)]) == 0
+        merged_path = tmp_path / "merged.json"
+        assert main(["merge", str(path), "--output", str(merged_path), "--canonical"]) == 0
+        payload = json.loads(merged_path.read_text())
+        assert "wall_time_s" not in payload and "n_jobs" not in payload
+
+    def test_merge_incomplete_shard_set_errors(self, tmp_path, capsys):
+        path = tmp_path / "shard1.json"
+        assert main(self.ARGS + ["--shard", "1/2", "--output", str(path)]) == 0
+        code = main(["merge", str(path), "--output", str(tmp_path / "merged.json")])
+        assert code == 2
+        assert "incomplete shard set" in capsys.readouterr().err
+
+    def test_merge_unreadable_input_errors(self, tmp_path, capsys):
+        code = main(["merge", str(tmp_path / "nosuch.json"),
+                     "--output", str(tmp_path / "merged.json")])
+        assert code == 2
+        assert "cannot read shard artifact file" in capsys.readouterr().err
+
+
+class TestSuiteStreamingCli:
+    ARGS = ["suite", "POW9", "CAN1072", "--algorithms", "rcm,gps", "--scale", "0.02"]
+
+    def test_stream_output_writes_header_and_records(self, tmp_path):
+        import json
+
+        stream = tmp_path / "run.jsonl"
+        code = main(self.ARGS + ["--stream-output", str(stream)])
+        assert code == 0
+        lines = [json.loads(line) for line in stream.read_text().splitlines()]
+        assert lines[0]["kind"] == "header" and lines[0]["total_tasks"] == 4
+        assert [line["kind"] for line in lines[1:]] == ["record"] * 4
+
+    def test_progress_lines_on_stderr(self, capsys):
+        code = main(self.ARGS + ["--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[1/4]" in err and "[4/4]" in err
+
+    def test_resume_after_kill_round_trip(self, tmp_path, capsys):
+        from repro.batch import SuiteResult
+
+        full_path = tmp_path / "full.json"
+        assert main(self.ARGS + ["--output", str(full_path)]) == 0
+        stream = tmp_path / "run.jsonl"
+        assert main(self.ARGS + ["--stream-output", str(stream)]) == 0
+        stream.write_bytes(stream.read_bytes()[:-25])  # the kill
+        capsys.readouterr()
+
+        resumed_path = tmp_path / "resumed.json"
+        code = main(self.ARGS + ["--resume", str(stream), "--stream-output", str(stream),
+                                 "--output", str(resumed_path)])
+        assert code == 0
+        assert "reused from" in capsys.readouterr().out
+        resumed = SuiteResult.load(resumed_path)
+        full = SuiteResult.load(full_path)
+        assert resumed.to_json(include_timing=False) == full.to_json(include_timing=False)
+        # the stream file is now complete again: header + all four records
+        import json
+
+        lines = [json.loads(line) for line in stream.read_text().splitlines()]
+        assert len(lines) == 5
+
+    def test_resume_spec_mismatch_errors(self, tmp_path, capsys):
+        stream = tmp_path / "run.jsonl"
+        assert main(self.ARGS + ["--stream-output", str(stream)]) == 0
+        capsys.readouterr()
+        code = main(["suite", "POW9", "--algorithms", "rcm", "--scale", "0.02",
+                     "--resume", str(stream)])
+        assert code == 2
+        assert "different suite" in capsys.readouterr().err
+
+    def test_resume_missing_file_errors_unless_it_is_the_sink(self, tmp_path, capsys):
+        missing = tmp_path / "nosuch.jsonl"
+        code = main(self.ARGS + ["--resume", str(missing)])
+        assert code == 2
+        assert "cannot read resume file" in capsys.readouterr().err
+        # ... but resuming from the sink that does not exist yet starts fresh
+        code = main(self.ARGS + ["--resume", str(missing), "--stream-output", str(missing)])
+        assert code == 0
+        assert "starting fresh" in capsys.readouterr().err
+
+    def test_timeout_records_timeout_without_stalling(self, monkeypatch, capsys):
+        import time
+
+        from repro.orderings.registry import ORDERING_ALGORITHMS
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy", lambda p: time.sleep(60))
+        start = time.monotonic()
+        code = main(["suite", "POW9", "--algorithms", "rcm,sleepy", "--scale", "0.02",
+                     "--timeout", "1"])
+        assert time.monotonic() - start < 30
+        assert code == 1  # a timeout is a failure exit, like an error record
+        out = capsys.readouterr().out
+        assert "TIMEOUT POW9/sleepy" in out
+        assert "1 timed out" in out
+
+    def test_invalid_timeout_errors(self, capsys):
+        code = main(self.ARGS + ["--timeout", "0"])
+        assert code == 2
+        assert "timeout" in capsys.readouterr().err
+
+    def test_resume_retries_timed_out_cells(self, tmp_path, monkeypatch, capsys):
+        """A timeout record in the stream is a machine artifact: resuming
+        (e.g. with a larger --timeout) recomputes that cell."""
+        import time
+
+        from repro.orderings.registry import ORDERING_ALGORITHMS
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy",
+                            lambda p: time.sleep(2) or ORDERING_ALGORITHMS["rcm"](p))
+        stream = tmp_path / "run.jsonl"
+        args = ["suite", "POW9", "--algorithms", "rcm,sleepy", "--scale", "0.02"]
+        assert main(args + ["--timeout", "0.5", "--stream-output", str(stream)]) == 1
+        capsys.readouterr()
+        code = main(args + ["--timeout", "30", "--resume", str(stream),
+                            "--stream-output", str(stream)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "retrying 1 timed-out cell(s)" in captured.err
+        assert "1 reused from" in captured.out
+
+    def test_baseline_non_object_json_gets_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "array.json"
+        bad.write_text("[1, 2]")
+        code = main(self.ARGS + ["--baseline", str(bad)])
+        assert code == 2
+        assert "not a valid results artifact" in capsys.readouterr().err
 
 
 class TestProblemsCommand:

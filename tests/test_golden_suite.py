@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.batch import SuiteResult, run_suite
+from repro.batch import SuiteResult, merge_results, run_suite
 from repro.orderings.registry import PAPER_ALGORITHMS
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "suite_small.json"
@@ -27,8 +27,9 @@ PROBLEMS = ("CAN1072", "DWT2680", "POW9")
 SCALE = 0.02
 
 
-def _fresh_suite(n_jobs: int) -> SuiteResult:
-    return run_suite(PROBLEMS, PAPER_ALGORITHMS, scale=SCALE, n_jobs=n_jobs, base_seed=0)
+def _fresh_suite(n_jobs: int, shard: tuple | None = None) -> SuiteResult:
+    return run_suite(PROBLEMS, PAPER_ALGORITHMS, scale=SCALE, n_jobs=n_jobs,
+                     base_seed=0, shard=shard)
 
 
 @pytest.fixture(scope="module")
@@ -57,3 +58,12 @@ def test_two_worker_run_matches_golden_byte_for_byte(golden_text):
 def test_fresh_run_diffs_clean_against_golden(golden_text):
     golden = SuiteResult.from_json(golden_text)
     assert golden.diff(_fresh_suite(n_jobs=1)) == []
+
+
+def test_three_way_shard_merge_matches_golden_byte_for_byte(golden_text):
+    """The distribution acceptance criterion: --shard 1/3 + 2/3 + 3/3,
+    merged, is byte-identical in canonical form to the single-machine run."""
+    shards = [_fresh_suite(n_jobs=1, shard=(k, 3)) for k in (1, 2, 3)]
+    assert sum(len(shard.records) for shard in shards) == len(PROBLEMS) * len(PAPER_ALGORITHMS)
+    merged = merge_results(shards)
+    assert merged.to_json(include_timing=False) == golden_text
