@@ -11,10 +11,9 @@ Results are written to ``benchmarks/results/ablation_eigensolvers.txt``.
 
 import pytest
 
-from common import TableCollector
+from common import TableCollector, timed_once
 from repro.collections.generators import airfoil_pattern
 from repro.eigen.fiedler import fiedler_vector
-from repro.utils.timing import Timer
 
 SIZES = (400, 1200, 3000)
 METHODS = ("lanczos", "multilevel", "lobpcg", "eigsh")
@@ -43,20 +42,16 @@ def test_ablation_eigensolver(benchmark, case):
     n_points, method = case
     benchmark.group = f"ablation-eigensolver:n{n_points}"
     pattern = _pattern(n_points)
-    timer = Timer()
-
-    def solve():
-        with timer:
-            return fiedler_vector(pattern, method=method, rng=1)
-
-    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    result, seconds = timed_once(
+        benchmark, lambda: fiedler_vector(pattern, method=method, rng=1)
+    )
     _collector.add(
         n_points=n_points,
         n=pattern.n,
         method=method,
         eigenvalue=float(result.eigenvalue),
         residual=float(result.residual_norm),
-        time_s=timer.laps[-1],
+        time_s=seconds,
         converged=str(result.converged),
     )
     benchmark.extra_info.update(

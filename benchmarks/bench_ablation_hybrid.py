@@ -15,10 +15,9 @@ Results are written to ``benchmarks/results/ablation_hybrid.txt``.
 
 import pytest
 
-from common import TableCollector, cached_problem
+from common import TableCollector, cached_problem, timed_once
 from repro.envelope.metrics import envelope_size, envelope_work
 from repro.orderings.registry import ORDERING_ALGORITHMS
-from repro.utils.timing import Timer
 
 PROBLEMS = ("CAN1072", "POW9", "BLKHOLE", "DWT2680", "SSTMODEL", "BARTH4")
 ALGORITHMS = ("spectral", "hybrid", "sloan", "rcm")
@@ -39,13 +38,9 @@ def test_ablation_hybrid(benchmark, case):
     problem, algorithm = case
     benchmark.group = f"ablation-hybrid:{problem}"
     pattern = cached_problem(problem)
-    timer = Timer()
-
-    def compute():
-        with timer:
-            return ORDERING_ALGORITHMS[algorithm](pattern)
-
-    ordering = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ordering, seconds = timed_once(
+        benchmark, lambda: ORDERING_ALGORITHMS[algorithm](pattern)
+    )
     from repro.envelope.metrics import bandwidth
 
     _collector.add(
@@ -55,6 +50,6 @@ def test_ablation_hybrid(benchmark, case):
         envelope=envelope_size(pattern, ordering.perm),
         ework=envelope_work(pattern, ordering.perm),
         bandwidth=bandwidth(pattern, ordering.perm),
-        time_s=timer.laps[-1],
+        time_s=seconds,
     )
     assert sorted(ordering.perm.tolist()) == list(range(pattern.n))

@@ -11,10 +11,9 @@ Results are written to ``benchmarks/results/ablation_multilevel.txt``.
 
 import pytest
 
-from common import TableCollector
+from common import TableCollector, timed_once
 from repro.collections.generators import airfoil_pattern
 from repro.eigen.multilevel import multilevel_fiedler
-from repro.utils.timing import Timer
 
 COARSEST_SIZES = (25, 100, 400)
 RQI_STEPS = (1, 2, 4)
@@ -44,15 +43,12 @@ def test_ablation_multilevel(benchmark, case):
     coarsest_size, rqi_steps = case
     benchmark.group = "ablation-multilevel"
     pattern = _pattern()
-    timer = Timer()
-
-    def solve():
-        with timer:
-            return multilevel_fiedler(
-                pattern, coarsest_size=coarsest_size, rqi_steps=rqi_steps, rng=1
-            )
-
-    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    result, seconds = timed_once(
+        benchmark,
+        lambda: multilevel_fiedler(
+            pattern, coarsest_size=coarsest_size, rqi_steps=rqi_steps, rng=1
+        ),
+    )
     _collector.add(
         coarsest_size=coarsest_size,
         rqi_steps=rqi_steps,
@@ -60,7 +56,7 @@ def test_ablation_multilevel(benchmark, case):
         eigenvalue=float(result.eigenvalue),
         residual=float(result.residual_norm),
         rqi_total=result.refinement_iterations,
-        time_s=timer.laps[-1],
+        time_s=seconds,
     )
     benchmark.extra_info.update(
         {"coarsest_size": coarsest_size, "rqi_steps": rqi_steps, "levels": result.levels}

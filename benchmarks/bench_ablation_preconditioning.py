@@ -16,7 +16,6 @@ import pytest
 from common import TableCollector, cached_problem
 from repro.orderings.registry import ORDERING_ALGORITHMS
 from repro.solvers.experiment import preconditioned_cg_experiment
-from repro.utils.timing import Timer
 
 PROBLEMS = ("CAN1072", "DWT2680", "BARTH4")
 ORDERINGS = ("natural", "rcm", "spectral", "sloan")

@@ -13,12 +13,11 @@ Results are written to ``benchmarks/results/ablation_scaling.txt``.
 
 import pytest
 
-from common import TableCollector
+from common import TableCollector, timed_once
 from repro.collections.meshes import grid2d_pattern
 from repro.envelope.metrics import envelope_size
 from repro.factor.cholesky import envelope_cholesky, estimate_factor_work
 from repro.orderings.registry import ORDERING_ALGORITHMS
-from repro.utils.timing import Timer
 
 GRIDS = ((20, 20), (30, 30), (40, 40))
 ALGORITHMS = ("spectral", "rcm")
@@ -49,13 +48,9 @@ def test_ablation_scaling(benchmark, case):
     pattern = _pattern(shape)
     matrix = pattern.to_scipy("spd")
     ordering = ORDERING_ALGORITHMS[algorithm](pattern)
-    timer = Timer()
-
-    def factor():
-        with timer:
-            return envelope_cholesky(matrix, perm=ordering.perm)
-
-    chol = benchmark.pedantic(factor, rounds=1, iterations=1)
+    chol, seconds = timed_once(
+        benchmark, lambda: envelope_cholesky(matrix, perm=ordering.perm)
+    )
     _collector.add(
         grid=f"{shape[0]}x{shape[1]}",
         n=pattern.n,
@@ -63,6 +58,6 @@ def test_ablation_scaling(benchmark, case):
         envelope=envelope_size(pattern, ordering.perm),
         est_work=estimate_factor_work(pattern, ordering.perm),
         factor_ops=chol.operations,
-        factor_time_s=timer.laps[-1],
+        factor_time_s=seconds,
     )
     assert chol.operations > 0

@@ -15,10 +15,9 @@ Run with::
 
 import pytest
 
-from common import TableCollector, bench_scale, cached_problem
+from common import TableCollector, bench_scale, cached_problem, timed_once
 from repro.batch import BatchTask, derive_seed, execute_task
 from repro.factor.cholesky import envelope_cholesky
-from repro.utils.timing import Timer
 
 PROBLEMS = ("BCSSTK29", "BCSSTK33", "BARTH4")
 ALGORITHMS = ("spectral", "rcm")
@@ -66,13 +65,9 @@ def test_table_4_4_factorization(benchmark, case):
     record = execute_task(task, pattern=pattern, capture_errors=False)
     ordering = record.ordering
 
-    factor_timer = Timer()
-
-    def factor():
-        with factor_timer:
-            return envelope_cholesky(matrix, perm=ordering.perm)
-
-    chol = benchmark.pedantic(factor, rounds=1, iterations=1)
+    chol, factor_seconds = timed_once(
+        benchmark, lambda: envelope_cholesky(matrix, perm=ordering.perm)
+    )
 
     esize = record.metrics["envelope_size"]
     _collector.add(
@@ -81,7 +76,7 @@ def test_table_4_4_factorization(benchmark, case):
         algorithm=algorithm.upper(),
         envelope=esize,
         factor_ops=chol.operations,
-        factor_time_s=factor_timer.laps[-1],
+        factor_time_s=factor_seconds,
         order_time_s=record.time_s,
         paper_envelope=PAPER_ENVELOPES[(problem, algorithm)],
         paper_factor_time_s=PAPER_FACTOR_TIMES[(problem, algorithm)],

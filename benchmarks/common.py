@@ -25,9 +25,28 @@ import os
 from functools import lru_cache
 from pathlib import Path
 
+from repro.bench import time_call
 from repro.collections.registry import PAPER_PROBLEMS, load_problem
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def timed_once(benchmark, func):
+    """Run *func* once under pytest-benchmark and return ``(result, seconds)``.
+
+    The measurement itself goes through :func:`repro.bench.time_call`, the
+    same timing core the ``repro bench`` regression harness uses, so the
+    numbers in the table/ablation results files and in ``BENCH_*.json``
+    artifacts are produced identically.
+    """
+    holder: dict = {}
+
+    def call():
+        holder["result"], holder["seconds"] = time_call(func)
+        return holder["result"]
+
+    benchmark.pedantic(call, rounds=1, iterations=1)
+    return holder["result"], holder["seconds"]
 
 
 def bench_scale() -> float:

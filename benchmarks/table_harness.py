@@ -15,11 +15,10 @@ and are not inflated by the metrics pass.
 
 from __future__ import annotations
 
-from common import TableCollector, bench_scale, cached_problem, problem_spec
+from common import TableCollector, bench_scale, cached_problem, problem_spec, timed_once
 from repro.batch import BatchTask, derive_seed, task_options
 from repro.envelope.metrics import envelope_statistics
 from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
-from repro.utils.timing import Timer
 
 TABLE_COLUMNS = [
     "problem", "n", "nnz", "algorithm", "envelope", "bandwidth", "ework", "time_s",
@@ -49,13 +48,7 @@ def run_table_case(benchmark, collector: TableCollector, problem: str, algorithm
         seed=derive_seed(0, problem, algorithm),
     )
     options = task_options(func, task)
-    timer = Timer()
-
-    def compute():
-        with timer:
-            return func(pattern, **options)
-
-    ordering = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ordering, seconds = timed_once(benchmark, lambda: func(pattern, **options))
     stats = envelope_statistics(pattern, ordering.perm)
     row = {
         "problem": problem,
@@ -65,7 +58,7 @@ def run_table_case(benchmark, collector: TableCollector, problem: str, algorithm
         "envelope": stats.envelope_size,
         "bandwidth": stats.bandwidth,
         "ework": stats.envelope_work,
-        "time_s": float(timer.laps[-1]),
+        "time_s": float(seconds),
         "paper_envelope": spec.paper_envelopes[algorithm],
         "paper_bandwidth": spec.paper_bandwidths[algorithm],
     }

@@ -33,7 +33,14 @@ or from the command line::
     repro merge shard1.json shard2.json shard3.json --output full.json
 """
 
-from repro.batch.engine import execute_task, iter_suite, run_suite, task_options
+from repro.batch.engine import (
+    clear_problem_cache,
+    execute_task,
+    iter_suite,
+    problem_cache_info,
+    run_suite,
+    task_options,
+)
 from repro.batch.results import (
     READ_COMPAT_VERSIONS,
     SCHEMA_VERSION,
@@ -54,8 +61,10 @@ __all__ = [
     "SuiteResult",
     "TaskRecord",
     "build_tasks",
+    "clear_problem_cache",
     "derive_seed",
     "execute_task",
+    "problem_cache_info",
     "iter_suite",
     "merge_results",
     "parse_shard",

@@ -54,14 +54,45 @@ from repro.envelope.metrics import envelope_statistics
 from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
 from repro.utils.timing import Timer
 
-__all__ = ["execute_task", "iter_suite", "run_suite", "task_options"]
+__all__ = [
+    "execute_task",
+    "iter_suite",
+    "run_suite",
+    "task_options",
+    "problem_cache_info",
+    "clear_problem_cache",
+]
 
 
 @lru_cache(maxsize=64)
 def _cached_pattern(problem: str, scale: float | None):
-    """Per-process cache of surrogate patterns, shared by a worker's tasks."""
+    """Per-worker problem cache keyed by ``(problem, scale)``.
+
+    The ``{problems} x {algorithms}`` cross-product hands every worker several
+    tasks per problem; building (and validating) the surrogate pattern is a
+    nontrivial fraction of a cell's cost, so each worker process assembles it
+    once and reuses it for all of that problem's algorithms.  The pattern's
+    degree array is additionally memoized on first touch
+    (:meth:`repro.sparse.pattern.SymmetricPattern.degree`), so the cached
+    object keeps getting cheaper as algorithms hit it.
+
+    Correctness: patterns are structurally immutable and every task derives
+    its randomness from its own seed, so cached and cold runs are
+    byte-identical in canonical form (pinned by
+    ``tests/test_batch_cache.py``).
+    """
     pattern, _spec = load_problem(problem, scale=scale)
     return pattern
+
+
+def problem_cache_info():
+    """``functools.lru_cache`` statistics of this process's problem cache."""
+    return _cached_pattern.cache_info()
+
+
+def clear_problem_cache() -> None:
+    """Drop this process's cached problem patterns (tests / memory pressure)."""
+    _cached_pattern.cache_clear()
 
 
 def _accepts_rng(func) -> bool:

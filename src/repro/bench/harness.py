@@ -1,0 +1,437 @@
+"""The ``repro bench`` perf-regression harness.
+
+Runs a **pinned micro-suite** — named kernel benchmarks over fixed surrogate
+problems (orderings, graph kernels, eigensolvers) plus one small
+``problems x algorithms`` suite run — and emits a versioned JSON artifact
+(``BENCH_<rev>.json``) holding per-kernel and per-cell wall times together
+with machine info.  Two artifacts diff with :func:`diff_bench`, which flags
+regressions beyond a noise threshold; this is how the repo's bench
+trajectory is recorded and how "every PR makes a hot path measurably
+faster" gets checked instead of asserted.
+
+Usage (full reference: ``docs/performance.md``)::
+
+    repro bench --output BENCH_abc1234.json          # record a run
+    repro bench --against BENCH_abc1234.json         # rerun + diff, exit 1
+                                                     # on regressions
+    repro bench --quick                              # CI smoke variant
+
+The timing statistic compared across runs is **best-of-k** wall time (see
+:mod:`repro.bench.core`); the suite cells additionally record the engine's
+own per-task ``time_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.core import measure
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "KernelBench",
+    "pinned_micro_suite",
+    "run_bench",
+    "save_bench",
+    "load_bench",
+    "diff_bench",
+    "format_diff",
+    "bench_revision",
+    "default_artifact_path",
+    "machine_info",
+]
+
+#: Version of the ``BENCH_*.json`` artifact schema.
+BENCH_SCHEMA_VERSION = 1
+
+_KIND = "repro-bench"
+
+#: Baseline timings below this are treated as pure noise by the regression
+#: check (a 2x "regression" of a 50 microsecond kernel is jitter, not a bug).
+_NOISE_FLOOR_S = 1e-3
+
+
+@dataclass(frozen=True)
+class KernelBench:
+    """One named micro-benchmark of the pinned suite.
+
+    ``setup`` builds the inputs (untimed) and returns the zero-argument
+    callable that gets measured.
+    """
+
+    name: str
+    group: str
+    setup: Callable[[], Callable[[], object]]
+    problem: str = ""
+    repeats: int | None = None
+
+
+def machine_info() -> dict:
+    """Platform / library versions recorded into every artifact."""
+    import scipy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_revision() -> str:
+    """Short source revision for artifact naming (``local`` outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip() or "local"
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+
+
+def default_artifact_path(rev: str | None = None) -> Path:
+    """``BENCH_<rev>.json`` in the current directory."""
+    return Path(f"BENCH_{rev or bench_revision()}.json")
+
+
+# --------------------------------------------------------------------- #
+# the pinned micro-suite
+# --------------------------------------------------------------------- #
+def _ordering_bench(problem: str, scale: float, algorithm: str) -> KernelBench:
+    def setup():
+        from repro.batch import BatchTask, derive_seed, task_options
+        from repro.collections.registry import load_problem
+        from repro.orderings.registry import ORDERING_ALGORITHMS
+
+        pattern, _spec = load_problem(problem, scale=scale)
+        func = ORDERING_ALGORITHMS[algorithm]
+        task = BatchTask(problem=problem, algorithm=algorithm, scale=scale,
+                         seed=derive_seed(0, problem, algorithm))
+        options = task_options(func, task)
+        return lambda: func(pattern, **options)
+
+    return KernelBench(
+        name=f"orderings/{algorithm}/{problem}@{scale:g}",
+        group="orderings", setup=setup, problem=problem,
+    )
+
+
+def _graph_bench(problem: str, scale: float, kernel: str) -> KernelBench:
+    def setup():
+        from repro.collections.registry import load_problem
+        from repro.graph.coarsen import coarsen_graph, maximal_independent_set
+        from repro.graph.peripheral import pseudo_diameter
+        from repro.graph.traversal import breadth_first_levels
+
+        pattern, _spec = load_problem(problem, scale=scale)
+        kernels = {
+            "bfs_levels": lambda: breadth_first_levels(pattern, 0),
+            "pseudo_diameter": lambda: pseudo_diameter(pattern),
+            "mis": lambda: maximal_independent_set(pattern),
+            "coarsen": lambda: coarsen_graph(pattern),
+        }
+        return kernels[kernel]
+
+    return KernelBench(
+        name=f"graph/{kernel}/{problem}@{scale:g}",
+        group="graph", setup=setup, problem=problem,
+    )
+
+
+def _eigen_bench(problem: str, scale: float, kernel: str) -> KernelBench:
+    def setup():
+        from repro.collections.registry import load_problem
+        from repro.eigen.lanczos import lanczos_smallest_nontrivial
+        from repro.eigen.multilevel import multilevel_fiedler
+        from repro.graph.laplacian import laplacian_matrix
+
+        pattern, _spec = load_problem(problem, scale=scale)
+        if kernel == "lanczos":
+            laplacian = laplacian_matrix(pattern)
+            return lambda: lanczos_smallest_nontrivial(laplacian, rng=0)
+        return lambda: multilevel_fiedler(pattern, rng=0)
+
+    return KernelBench(
+        name=f"eigen/{kernel}/{problem}@{scale:g}",
+        group="eigen", setup=setup, problem=problem,
+    )
+
+
+def pinned_micro_suite(quick: bool = False) -> list[KernelBench]:
+    """The fixed benchmark list compared across revisions.
+
+    Names are stable identifiers: :func:`diff_bench` joins artifacts on them,
+    so renaming or re-scaling an entry breaks the trajectory for that kernel
+    (the diff reports it as added/removed rather than silently comparing
+    different work).
+    """
+    if quick:
+        ordering_cases = [("CAN1072", 0.1), ("DWT2680", 0.05)]
+        ordering_algorithms = ("rcm", "gps", "gk", "sloan")
+        graph_problem, graph_scale = "PWT", 0.03
+    else:
+        ordering_cases = [("CAN1072", 0.5), ("DWT2680", 0.2)]
+        ordering_algorithms = ("rcm", "gps", "gk", "sloan", "king", "spectral")
+        graph_problem, graph_scale = "PWT", 0.1
+
+    benches = [
+        _ordering_bench(problem, scale, algorithm)
+        for problem, scale in ordering_cases
+        for algorithm in ordering_algorithms
+    ]
+    benches += [
+        _graph_bench(graph_problem, graph_scale, kernel)
+        for kernel in ("bfs_levels", "pseudo_diameter", "mis", "coarsen")
+    ]
+    benches += [
+        _eigen_bench(graph_problem, graph_scale, kernel)
+        for kernel in ("lanczos", "multilevel_fiedler")
+    ]
+    return benches
+
+
+def _suite_spec(quick: bool) -> dict:
+    return {
+        "problems": ["CAN1072", "POW9"],
+        "algorithms": ["spectral", "gk", "gps", "rcm"],
+        "scale": 0.02 if quick else 0.05,
+    }
+
+
+# --------------------------------------------------------------------- #
+# running
+# --------------------------------------------------------------------- #
+def run_bench(
+    *,
+    quick: bool = False,
+    repeats: int | None = None,
+    name_filter: str | None = None,
+    include_suite: bool = True,
+    on_result: Callable[[dict], None] | None = None,
+    rev: str | None = None,
+) -> dict:
+    """Execute the pinned micro-suite and return the artifact dictionary.
+
+    Parameters
+    ----------
+    quick:
+        Smaller problem scales and fewer repeats — the CI smoke variant.
+    repeats:
+        Timed runs per kernel (default: 2 quick, 3 full; best-of-k is the
+        compared statistic, so more repeats mean less noise).
+    name_filter:
+        Case-insensitive substring; only matching kernel names run.
+    include_suite:
+        Also run the small batch-engine suite and record per-cell times.
+    on_result:
+        Callback invoked with each finished kernel entry (progress hook).
+    rev:
+        Source revision recorded in the artifact (default: git describe).
+    """
+    if repeats is None:
+        repeats = 2 if quick else 3
+    start = time.perf_counter()
+    kernels = []
+    for bench in pinned_micro_suite(quick):
+        if name_filter and name_filter.lower() not in bench.name.lower():
+            continue
+        func = bench.setup()
+        stats = measure(func, repeats=bench.repeats or repeats, warmup=1)
+        entry = {
+            "name": bench.name,
+            "group": bench.group,
+            "problem": bench.problem,
+            "best_s": stats["best_s"],
+            "mean_s": stats["mean_s"],
+            "repeats": stats["repeats"],
+        }
+        kernels.append(entry)
+        if on_result is not None:
+            on_result(entry)
+
+    suite_section = None
+    if include_suite and not name_filter:
+        from repro.batch import run_suite
+
+        spec = _suite_spec(quick)
+        suite = run_suite(spec["problems"], spec["algorithms"],
+                          scale=spec["scale"], n_jobs=1, keep_orderings=False)
+        suite_section = {
+            **spec,
+            "wall_s": suite.wall_time_s,
+            "cells": [
+                {
+                    "problem": record.problem,
+                    "algorithm": record.algorithm,
+                    "status": record.status,
+                    "time_s": record.time_s,
+                }
+                for record in suite.records
+            ],
+        }
+        if on_result is not None:
+            on_result({"name": "suite", "group": "suite",
+                       "best_s": suite.wall_time_s, "mean_s": suite.wall_time_s,
+                       "repeats": 1})
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": _KIND,
+        "rev": rev or bench_revision(),
+        "created_s": time.time(),
+        "machine": machine_info(),
+        "config": {"quick": quick, "repeats": repeats,
+                   "filter": name_filter, "include_suite": include_suite},
+        "kernels": kernels,
+        "suite": suite_section,
+        "total_s": time.perf_counter() - start,
+    }
+
+
+def save_bench(artifact: dict, path) -> Path:
+    """Write the artifact as indented JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_bench(path) -> dict:
+    """Load and validate a ``BENCH_*.json`` artifact.
+
+    Raises
+    ------
+    ValueError
+        When the file is not a bench artifact or its schema version is newer
+        than this build understands.
+    """
+    path = Path(path)
+    try:
+        artifact = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(artifact, dict) or artifact.get("kind") != _KIND:
+        raise ValueError(f"{path} is not a repro bench artifact")
+    version = artifact.get("schema_version")
+    if not isinstance(version, int) or version > BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has bench schema version {version!r}; this build reads "
+            f"versions up to {BENCH_SCHEMA_VERSION}"
+        )
+    return artifact
+
+
+# --------------------------------------------------------------------- #
+# diffing two artifacts
+# --------------------------------------------------------------------- #
+def _cell_rows(artifact: dict) -> dict[str, float]:
+    suite = artifact.get("suite")
+    if not suite:
+        return {}
+    return {
+        f"suite/{cell['problem']}/{cell['algorithm']}": float(cell["time_s"])
+        for cell in suite["cells"]
+        if cell.get("status") == "ok"
+    }
+
+
+def diff_bench(baseline: dict, current: dict, *, threshold: float = 0.25) -> dict:
+    """Compare two bench artifacts kernel by kernel (and cell by cell).
+
+    Parameters
+    ----------
+    baseline, current:
+        Artifacts from :func:`run_bench` / :func:`load_bench`.
+    threshold:
+        Relative slowdown treated as a regression: a kernel regresses when
+        ``current > baseline * (1 + threshold)`` *and* the baseline is above
+        the noise floor.  Timing noise on sub-millisecond kernels is never
+        flagged.
+
+    Returns
+    -------
+    dict
+        ``rows`` (one per kernel present in both artifacts: name, base_s,
+        new_s, speedup), ``regressions`` (names), ``added`` / ``removed``
+        (names only in one artifact), ``geomean_speedup`` over comparable
+        rows, and the two revisions.
+    """
+    base_times = {k["name"]: float(k["best_s"]) for k in baseline.get("kernels", [])}
+    base_times.update(_cell_rows(baseline))
+    new_times = {k["name"]: float(k["best_s"]) for k in current.get("kernels", [])}
+    new_times.update(_cell_rows(current))
+
+    rows, regressions, log_speedups = [], [], []
+    for name in [n for n in base_times if n in new_times]:
+        base_s, new_s = base_times[name], new_times[name]
+        speedup = base_s / new_s if new_s > 0 else math.inf
+        row = {"name": name, "base_s": base_s, "new_s": new_s, "speedup": speedup}
+        regressed = new_s > base_s * (1.0 + threshold) and base_s >= _NOISE_FLOOR_S
+        row["regressed"] = regressed
+        if regressed:
+            regressions.append(name)
+        if base_s > 0 and new_s > 0:
+            log_speedups.append(math.log(speedup))
+        rows.append(row)
+
+    geomean = math.exp(sum(log_speedups) / len(log_speedups)) if log_speedups else 1.0
+    # Total micro-suite wall time over the pinned kernels present in both
+    # artifacts (suite cells excluded: the suite section re-times ordering
+    # work the kernel rows already cover).
+    kernel_rows = [r for r in rows if not r["name"].startswith("suite/")]
+    total_base = sum(r["base_s"] for r in kernel_rows)
+    total_new = sum(r["new_s"] for r in kernel_rows)
+    return {
+        "baseline_rev": baseline.get("rev", "?"),
+        "current_rev": current.get("rev", "?"),
+        "threshold": threshold,
+        "rows": rows,
+        "regressions": regressions,
+        "added": sorted(set(new_times) - set(base_times)),
+        "removed": sorted(set(base_times) - set(new_times)),
+        "geomean_speedup": geomean,
+        "total_base_s": total_base,
+        "total_new_s": total_new,
+        "total_speedup": total_base / total_new if total_new > 0 else math.inf,
+    }
+
+
+def format_diff(diff: dict) -> str:
+    """Human-readable table of a :func:`diff_bench` result."""
+    lines = [
+        f"bench diff: baseline {diff['baseline_rev']} -> current {diff['current_rev']}",
+        f"{'kernel':<44} {'baseline':>10} {'current':>10} {'speedup':>8}",
+    ]
+    for row in diff["rows"]:
+        flag = "  << REGRESSION" if row["regressed"] else ""
+        lines.append(
+            f"{row['name']:<44} {row['base_s']:>9.4f}s {row['new_s']:>9.4f}s "
+            f"{row['speedup']:>7.2f}x{flag}"
+        )
+    for name in diff["added"]:
+        lines.append(f"{name:<44} {'-':>10} {'new':>10}")
+    for name in diff["removed"]:
+        lines.append(f"{name:<44} {'gone':>10} {'-':>10}")
+    lines.append(f"geometric-mean speedup over {len(diff['rows'])} kernels: "
+                 f"{diff['geomean_speedup']:.2f}x")
+    lines.append(f"total micro-suite wall time: {diff['total_base_s']:.3f}s -> "
+                 f"{diff['total_new_s']:.3f}s ({diff['total_speedup']:.2f}x)")
+    if diff["regressions"]:
+        lines.append(f"{len(diff['regressions'])} regression(s) beyond "
+                     f"{diff['threshold']:.0%}: {', '.join(diff['regressions'])}")
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)

@@ -39,6 +39,18 @@ actually runs (full reference: ``docs/running.md``):
     duplicate/missing cells; the merged artifact is byte-identical in
     canonical form to a single-machine run.
 
+``bench``
+    Run the pinned perf micro-suite and write a versioned ``BENCH_<rev>.json``
+    artifact (per-kernel and per-cell wall times, machine info)::
+
+        repro bench --output BENCH_abc1234.json
+        repro bench --against BENCH_abc1234.json   # rerun + diff; exit 1 on
+                                                   # perf regressions
+        repro bench --quick                        # CI smoke variant
+
+    See ``docs/performance.md`` for the artifact schema and how to read a
+    regression diff.
+
 ``spy``
     Print an ASCII structure plot of a matrix under a chosen ordering
     (the Figure 4.1-4.5 view).
@@ -370,6 +382,61 @@ def _cmd_merge(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        bench_revision,
+        default_artifact_path,
+        diff_bench,
+        format_diff,
+        load_bench,
+        run_bench,
+        save_bench,
+    )
+
+    if args.repeats is not None and args.repeats < 1:
+        print(f"--repeats must be a positive integer, got {args.repeats}",
+              file=sys.stderr)
+        return 2
+    baseline = None
+    if args.against:
+        try:
+            baseline = load_bench(args.against)
+        except OSError as exc:
+            print(f"cannot read baseline file {args.against}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    def on_result(entry):
+        print(f"  {entry['name']:<44} best {entry['best_s']:.4f} s "
+              f"(mean {entry['mean_s']:.4f} s over {entry['repeats']})",
+              file=sys.stderr)
+
+    rev = bench_revision()
+    mode = "quick" if args.quick else "full"
+    print(f"repro bench ({mode} micro-suite, rev {rev})", file=sys.stderr)
+    artifact = run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        name_filter=args.filter,
+        include_suite=not args.no_suite,
+        on_result=on_result,
+        rev=rev,
+    )
+    output = Path(args.output) if args.output else default_artifact_path(rev)
+    save_bench(artifact, output)
+    print(f"bench artifact written to {output} "
+          f"({len(artifact['kernels'])} kernels, {artifact['total_s']:.1f} s total)")
+
+    if baseline is not None:
+        diff = diff_bench(baseline, artifact, threshold=args.threshold)
+        print(format_diff(diff))
+        if diff["regressions"]:
+            return 1
+    return 0
+
+
 def _cmd_spy(args) -> int:
     pattern, _matrix, label = _load_input(args.input)
     perm = None
@@ -488,6 +555,28 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the canonical (timing-free) form, the one "
                                    "golden tests compare byte-for-byte")
     merge_parser.set_defaults(func=_cmd_merge)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the pinned perf micro-suite (BENCH_<rev>.json artifact)"
+    )
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="smaller scales, one repeat (CI smoke variant)")
+    bench_parser.add_argument("--repeats", type=int, default=None,
+                              help="timed runs per kernel (default: 3, or 2 with --quick)")
+    bench_parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                              help="run only kernels whose name contains SUBSTR "
+                                   "(skips the suite section)")
+    bench_parser.add_argument("--no-suite", action="store_true",
+                              help="skip the per-cell suite timing section")
+    bench_parser.add_argument("--output", default=None,
+                              help="artifact path (default: BENCH_<rev>.json)")
+    bench_parser.add_argument("--against", default=None, metavar="BENCH.json",
+                              help="diff this run against a saved artifact; "
+                                   "exit 1 on regressions beyond --threshold")
+    bench_parser.add_argument("--threshold", type=float, default=0.25,
+                              help="relative slowdown flagged as a regression "
+                                   "(default 0.25 = 25%%)")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     spy_parser = sub.add_parser("spy", help="ASCII structure plot under an ordering")
     spy_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")

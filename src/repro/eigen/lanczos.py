@@ -127,10 +127,13 @@ def lanczos_smallest_nontrivial(
 
     best = None
     total_iters = 0
+    # Workspace is allocated once and reused across restarts: every slot read
+    # below (basis[:k_used], alphas[:k_used], betas[:k_used-1]) is written
+    # first within each restart, so reuse cannot leak state between restarts.
+    basis = np.zeros((max_iter + 1, n))
+    alphas = np.zeros(max_iter)
+    betas = np.zeros(max_iter)
     for _restart in range(max(1, restarts)):
-        basis = np.zeros((max_iter + 1, n))
-        alphas = np.zeros(max_iter)
-        betas = np.zeros(max_iter)
         basis[0] = q
         k_used = 0
         for k in range(max_iter):

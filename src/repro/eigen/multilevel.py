@@ -201,11 +201,13 @@ def multilevel_fiedler(
     coarse_iterations = 0  # dense coarse solve: no Lanczos iterations to report
 
     # --- interpolate + refine up the hierarchy --------------------------- #
+    # The finest-level Laplacian is needed both by the last refinement sweep
+    # and by the final polish below; build the CSR matrix once and share it.
+    full_lap = laplacian_matrix(pattern)
     refinement_iterations = 0
     for idx in range(len(hierarchy) - 1, -1, -1):
         level = hierarchy[idx]
-        fine_pattern = pattern if idx == 0 else hierarchy[idx - 1].coarse_pattern
-        fine_lap = laplacian_matrix(fine_pattern)
+        fine_lap = full_lap if idx == 0 else laplacian_matrix(hierarchy[idx - 1].coarse_pattern)
 
         block = np.column_stack(
             [interpolate_vector(level, block[:, j]) for j in range(block.shape[1])]
@@ -225,7 +227,6 @@ def multilevel_fiedler(
         block = _orthonormal_block(block, rng)
 
     # --- final polish / bookkeeping on the original graph ----------------- #
-    full_lap = laplacian_matrix(pattern)
     if not hierarchy:
         vector = deflate_constant(block[:, 0])
         vector /= np.linalg.norm(vector)

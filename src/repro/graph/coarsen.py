@@ -72,16 +72,77 @@ def maximal_independent_set(
     else:
         raise ValueError(f"unknown strategy {strategy!r}")
 
+    # The sequential greedy scan selects v iff no scan-earlier neighbor was
+    # selected — i.e. the lexicographically-first MIS under the scan ranking.
+    # That fixpoint is computed here in *rounds* (the classic parallelization
+    # of greedy MIS): each round selects every undecided vertex whose rank is
+    # a strict minimum among its undecided neighbors, then blocks the selected
+    # vertices' neighborhoods.  Identical output, whole-array work per round.
+    rank = np.empty(n, dtype=np.intp)
+    rank[order] = np.arange(n, dtype=np.intp)
     selected = np.zeros(n, dtype=bool)
-    blocked = np.zeros(n, dtype=bool)
+    undecided = np.ones(n, dtype=bool)
+    rounds = 0
+    while True:
+        pending = np.flatnonzero(undecided)
+        if pending.size == 0:
+            break
+        if rounds >= 64:
+            # Adversarial rank layouts (e.g. a path ranked along its length)
+            # decide only O(1) vertices per round; finish those few scan-order
+            # — the greedy fixpoint is confluent, so the result is unchanged.
+            _greedy_tail(pattern, order, selected, undecided)
+            break
+        rounds += 1
+        slab, offsets = pattern.neighbor_slab(pending)
+        neighbor_rank = np.where(undecided[slab], rank[slab], n)
+        counts = offsets[1:] - offsets[:-1]
+        min_rank = np.full(pending.size, n, dtype=np.intp)
+        nonempty = counts > 0
+        if slab.size:
+            min_rank[nonempty] = np.minimum.reduceat(
+                neighbor_rank, offsets[:-1][nonempty]
+            )
+        wins = pending[rank[pending] < min_rank]
+        selected[wins] = True
+        undecided[wins] = False
+        blocked_slab, _ = pattern.neighbor_slab(wins)
+        undecided[blocked_slab] = False
+    return np.flatnonzero(selected).astype(np.intp)
+
+
+def _greedy_tail(pattern, order, selected, undecided) -> None:
+    """Finish an interrupted round-based MIS with the sequential greedy scan.
+
+    Mutates ``selected`` / ``undecided`` in place.  Correctness: every already
+    -selected vertex is in the greedy solution and every already-blocked
+    vertex has a selected smaller-rank neighbor, so scanning the remaining
+    undecided vertices in rank order completes the same fixpoint.
+    """
     indptr, indices = pattern.indptr, pattern.indices
     for v in order:
-        if blocked[v]:
+        if not undecided[v]:
             continue
         selected[v] = True
-        blocked[v] = True
-        blocked[indices[indptr[v] : indptr[v + 1]]] = True
-    return np.flatnonzero(selected).astype(np.intp)
+        undecided[v] = False
+        undecided[indices[indptr[v] : indptr[v + 1]]] = False
+
+
+def _grow_domains(pattern: SymmetricPattern, mis: np.ndarray, domain_of: np.ndarray) -> None:
+    """Simultaneous whole-frontier BFS domain growth (in place).
+
+    Each ring claims every still-unassigned neighbor of the frontier for the
+    domain of its first-discovering frontier vertex (frontier order, rows in
+    sorted adjacency order) — the same tie-breaking as the vertex-at-a-time
+    sweep it replaces (:func:`repro.reference.grow_domains_reference`).
+    """
+    frontier = mis.copy()
+    while frontier.size:
+        candidates, parents = pattern.claim_frontier(frontier, domain_of < 0)
+        if candidates.size == 0:
+            break
+        domain_of[candidates] = domain_of[frontier[parents]]
+        frontier = candidates
 
 
 @dataclass(frozen=True)
@@ -129,32 +190,22 @@ def coarsen_graph(
     n_coarse = mis.size
     domain_of = np.full(n, -1, dtype=np.intp)
     domain_of[mis] = np.arange(n_coarse, dtype=np.intp)
-
-    indptr, indices = pattern.indptr, pattern.indices
-    # Grow domains ring by ring (simultaneous BFS from all selected vertices).
-    frontier = mis.copy()
-    while frontier.size:
-        next_frontier: list[int] = []
-        for v in frontier:
-            dom = domain_of[v]
-            nbrs = indices[indptr[v] : indptr[v + 1]]
-            fresh = nbrs[domain_of[nbrs] < 0]
-            if fresh.size:
-                domain_of[fresh] = dom
-                next_frontier.extend(int(w) for w in fresh)
-        frontier = np.asarray(next_frontier, dtype=np.intp)
+    _grow_domains(pattern, mis, domain_of)
 
     # Any vertex still unassigned lies in a component with no selected vertex,
     # which cannot happen for a *maximal* independent set; assert the invariant.
     if np.any(domain_of < 0):  # pragma: no cover - defensive
         raise AssertionError("domain growing left unassigned vertices")
 
-    # Coarse edges: for every fine edge (u, v) with different domains, connect them.
+    # Coarse edges: for every fine edge (u, v) with different domains, connect
+    # them.  Both directions of each fine edge are stored, so no extra
+    # symmetrization pass is needed.
+    indptr, indices = pattern.indptr, pattern.indices
     rows = np.repeat(np.arange(n), np.diff(indptr))
     cu, cv = domain_of[rows], domain_of[indices]
     mask = cu != cv
-    coarse_pattern = SymmetricPattern.from_edges(
-        n_coarse, zip(cu[mask].tolist(), cv[mask].tolist()), symmetrize=True
+    coarse_pattern = SymmetricPattern.from_edge_arrays(
+        n_coarse, cu[mask], cv[mask], symmetrize=False
     )
     return CoarseLevel(
         fine_n=n,

@@ -9,6 +9,8 @@ component machinery lives here.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
 
 from repro.sparse.pattern import SymmetricPattern
 
@@ -26,27 +28,20 @@ def connected_components(pattern: SymmetricPattern) -> tuple[int, np.ndarray]:
         their smallest vertex.
     """
     n = pattern.n
-    labels = np.full(n, -1, dtype=np.intp)
-    indptr, indices = pattern.indptr, pattern.indices
-    current = 0
-    stack = np.empty(n, dtype=np.intp)
-    for start in range(n):
-        if labels[start] >= 0:
-            continue
-        labels[start] = current
-        stack[0] = start
-        top = 1
-        while top:
-            top -= 1
-            v = stack[top]
-            nbrs = indices[indptr[v] : indptr[v + 1]]
-            fresh = nbrs[labels[nbrs] < 0]
-            if fresh.size:
-                labels[fresh] = current
-                stack[top : top + fresh.size] = fresh
-                top += fresh.size
-        current += 1
-    return current, labels
+    if n == 0:
+        return 0, np.empty(0, dtype=np.intp)
+    adjacency = sp.csr_matrix(
+        (np.ones(pattern.indices.size, dtype=np.int8), pattern.indices, pattern.indptr),
+        shape=(n, n),
+    )
+    count, raw = csgraph.connected_components(adjacency, directed=False)
+    # csgraph's label order is an implementation detail; renumber so component
+    # ids follow each component's smallest vertex (the documented contract the
+    # per-component ordering concatenation relies on).
+    _labels, first_vertex = np.unique(raw, return_index=True)
+    rank = np.empty(count, dtype=np.intp)
+    rank[np.argsort(first_vertex)] = np.arange(count, dtype=np.intp)
+    return int(count), rank[raw].astype(np.intp)
 
 
 def is_connected(pattern: SymmetricPattern) -> bool:

@@ -3,7 +3,14 @@
 The baseline orderings (Cuthill-McKee, reverse Cuthill-McKee, GPS, GK) are all
 built on *rooted level structures*: the partition of the vertex set into BFS
 levels ``L_0 = {r}, L_1 = adj(L_0), ...`` from a root ``r`` (George & Liu,
-1981, Ch. 4).  This module provides those primitives in vectorized form.
+1981, Ch. 4).  This module provides those primitives as whole-frontier array
+operations over CSR neighbor slabs
+(:meth:`repro.sparse.pattern.SymmetricPattern.neighbor_slab`): each BFS step
+expands the entire frontier with one gather + mask + first-occurrence dedupe
+instead of a Python loop over vertices.  The discovery order is identical to
+the vertex-at-a-time scan (see :mod:`repro.reference` and the property tests
+in ``tests/test_kernels_reference.py``), so orderings built on these
+primitives are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
@@ -119,21 +126,20 @@ def breadth_first_levels(
     level_of[frontier] = 0
     levels.append(frontier.copy())
 
-    indptr, indices = pattern.indptr, pattern.indices
+    # Whole-frontier expansion: vertices where `fresh` is true are still
+    # undiscovered; frontier_expand returns the next level in the discovery
+    # order of the vertex-at-a-time scan.
+    fresh = allowed.copy()
+    fresh[frontier] = False
     current_level = 0
     while frontier.size:
-        next_nodes: list[int] = []
-        for v in frontier:
-            row = indices[indptr[v] : indptr[v + 1]]
-            for w in row:
-                if level_of[w] < 0 and allowed[w]:
-                    level_of[w] = current_level + 1
-                    next_nodes.append(int(w))
-        if not next_nodes:
+        frontier = pattern.frontier_expand(frontier, fresh)
+        if frontier.size == 0:
             break
-        frontier = np.array(next_nodes, dtype=np.intp)
-        levels.append(frontier.copy())
         current_level += 1
+        level_of[frontier] = current_level
+        fresh[frontier] = False
+        levels.append(frontier)
 
     return RootedLevelStructure(tuple(root_list), level_of, levels)
 
@@ -170,23 +176,28 @@ def bfs_order(
     if root < 0 or root >= n:
         raise ValueError(f"root {root} out of range for n={n}")
     degrees = pattern.degree()
-    visited = np.zeros(n, dtype=bool)
+    fresh = np.ones(n, dtype=bool)
     order = np.empty(n, dtype=np.intp)
     order[0] = root
-    visited[root] = True
-    head, tail = 0, 1
-    indptr, indices = pattern.indptr, pattern.indices
-    while head < tail:
-        v = order[head]
-        head += 1
-        nbrs = indices[indptr[v] : indptr[v + 1]]
-        unvisited = nbrs[~visited[nbrs]]
-        if unvisited.size:
-            if sort_by_degree:
-                unvisited = unvisited[np.argsort(degrees[unvisited], kind="stable")]
-            visited[unvisited] = True
-            order[tail : tail + unvisited.size] = unvisited
-            tail += unvisited.size
+    fresh[root] = False
+    tail = 1
+
+    # Whole-level expansion.  The queue scan appends, for each dequeued vertex
+    # in turn, its still-unvisited neighbors (optionally degree-sorted); that
+    # is exactly: claim each next-level vertex for its first-discovering
+    # parent, then order by (parent position, [degree,] adjacency position).
+    # np.lexsort is stable, so omitted keys fall back to slab position.
+    frontier = order[:1]
+    while frontier.size:
+        candidates, parents = pattern.claim_frontier(frontier, fresh)
+        if candidates.size == 0:
+            break
+        if sort_by_degree and candidates.size > 1:
+            candidates = candidates[np.lexsort((degrees[candidates], parents))]
+        fresh[candidates] = False
+        order[tail : tail + candidates.size] = candidates
+        tail += candidates.size
+        frontier = candidates
     return order[:tail]
 
 

@@ -125,52 +125,92 @@ def number_by_levels(
     numpy.ndarray
         New-to-old permutation covering every vertex of the component.
     """
+    if tie_break not in ("degree", "king"):
+        raise ValueError(f"unknown tie_break {tie_break!r}")
+    king = tie_break == "king"
     n = pattern.n
     degrees = pattern.degree()
+    indptr, indices = pattern.indptr, pattern.indices
     numbered = np.zeros(n, dtype=bool)
-    # lowest numbered neighbour's number for each vertex (np.inf if none yet)
-    best_neighbor_number = np.full(n, np.inf)
+    # lowest numbered neighbour's number for each vertex (n as "none yet":
+    # every real number is < n, so n orders exactly like +inf did)
+    best_neighbor_number = np.full(n, n, dtype=np.intp)
     order = np.empty(n, dtype=np.intp)
     count = 0
     height = int(levels.max(initial=0))
 
-    def _touch_neighbors(v: int, number: int) -> None:
-        nbrs = pattern.neighbors(v)
-        np.minimum.at(best_neighbor_number, nbrs, number)
+    # King's criterion ranks candidates by their active-front growth: the
+    # number of unnumbered neighbors not yet adjacent to a numbered vertex.
+    # Recomputing that per candidate per step is O(width * degree) every
+    # step; instead maintain it incrementally — a vertex leaves the counts
+    # exactly once (when it is numbered while untouched, or on its first
+    # touch), so total maintenance is O(nnz) for the whole numbering.
+    front_growth = degrees.copy() if king else None
+
+    def _number_vertex(v: int, number: int) -> None:
+        nbrs = indices[indptr[v] : indptr[v + 1]]
+        if king:
+            if best_neighbor_number[v] >= n:
+                # v was counted as an untouched unnumbered neighbor; it is
+                # numbered now (its own bnn never changes — v is not in nbrs).
+                front_growth[nbrs] -= 1
+            newly_touched = nbrs[(~numbered[nbrs]) & (best_neighbor_number[nbrs] >= n)]
+            if newly_touched.size:
+                slab, _offsets = pattern.neighbor_slab(newly_touched)
+                np.subtract.at(front_growth, slab, 1)
+        best_neighbor_number[nbrs] = np.minimum(best_neighbor_number[nbrs], number)
 
     # Number the start vertex first.
     order[count] = start
     numbered[start] = True
-    _touch_neighbors(start, 0)
+    _number_vertex(start, 0)
     count += 1
 
+    # The selection rule is a lexicographic argmin over the remaining level
+    # members; evaluate it with whole-array reductions over the member slab
+    # instead of a Python min() over per-vertex key tuples.
     for lvl in range(height + 1):
         members = np.flatnonzero(levels == lvl)
-        remaining = set(int(v) for v in members if not numbered[v])
-        while remaining:
-            candidates = [v for v in remaining if np.isfinite(best_neighbor_number[v])]
-            if not candidates:
-                candidates = list(remaining)
-            if tie_break == "degree":
-                key = lambda v: (best_neighbor_number[v], degrees[v], v)
-            elif tie_break == "king":
-                def key(v):
-                    nbrs = pattern.neighbors(v)
-                    unnumbered = nbrs[~numbered[nbrs]]
-                    new_front = int(np.sum(~np.isfinite(best_neighbor_number[unnumbered])))
-                    return (new_front, best_neighbor_number[v], degrees[v], v)
+        members = members[~numbered[members]].astype(np.intp)
+        alive = np.ones(members.size, dtype=bool)
+        for _ in range(members.size):
+            pool = members[alive]
+            bnn = best_neighbor_number[pool]
+            touched = bnn < n
+            candidates = pool[touched] if touched.any() else pool
+            if king:
+                chosen = _lex_argmin(
+                    candidates, front_growth[candidates],
+                    best_neighbor_number[candidates], degrees[candidates],
+                )
             else:
-                raise ValueError(f"unknown tie_break {tie_break!r}")
-            chosen = min(candidates, key=key)
-            remaining.discard(chosen)
+                chosen = _lex_argmin(
+                    candidates, best_neighbor_number[candidates], degrees[candidates]
+                )
+            alive[np.searchsorted(members, chosen)] = False
             order[count] = chosen
             numbered[chosen] = True
-            _touch_neighbors(chosen, count)
+            _number_vertex(chosen, count)
             count += 1
 
     if count != n:  # pragma: no cover - defensive
         raise AssertionError("level numbering did not cover the component")
     return order
+
+
+def _lex_argmin(vertices: np.ndarray, *keys: np.ndarray) -> int:
+    """The vertex minimizing ``(*keys, vertex)`` lexicographically.
+
+    Each key column narrows the tie set in turn; the vertex id itself is the
+    final tie-break, so the minimum is unique.
+    """
+    selection = np.arange(vertices.size)
+    for key in keys:
+        if selection.size == 1:
+            return int(vertices[selection[0]])
+        narrowed = key[selection]
+        selection = selection[narrowed == narrowed.min()]
+    return int(vertices[selection].min())
 
 
 def _gps_component(pattern: SymmetricPattern) -> np.ndarray:

@@ -36,6 +36,31 @@ __all__ = ["sloan_ordering"]
 _INACTIVE, _PREACTIVE, _ACTIVE, _NUMBERED = 0, 1, 2, 3
 
 
+def _dedupe_batch(targets: list, keep_first: bool) -> list:
+    """Deduplicate a push batch, keeping each vertex's governing occurrence.
+
+    With positive (or any nonzero) ``w1`` a vertex's priority changes on every
+    increment, so only its **last** push of the numbering step can match the
+    final priority — earlier entries are dead weight the lazy-deletion pop
+    discards anyway.  With ``w1 == 0`` nothing ever invalidates, so the
+    **first** push is the one whose heap counter governs tie-breaking.  The
+    surviving entries keep their original relative order, which preserves the
+    counter ordering (and therefore the exact output) of the per-push code.
+    Batches are small (a couple of neighborhoods), so a dict/set sweep beats
+    array machinery.
+    """
+    if keep_first:
+        return list(dict.fromkeys(targets))
+    seen: set = set()
+    out: list = []
+    for v in reversed(targets):
+        if v not in seen:
+            seen.add(v)
+            out.append(v)
+    out.reverse()
+    return out
+
+
 def _sloan_component(pattern: SymmetricPattern, w1: int, w2: int) -> np.ndarray:
     n = pattern.n
     if n == 1:
@@ -51,17 +76,18 @@ def _sloan_component(pattern: SymmetricPattern, w1: int, w2: int) -> np.ndarray:
     order = np.empty(n, dtype=np.intp)
     count = 0
     # Max-heap via negated priorities; lazy deletion with an entry counter.
+    # The heap handles only the argmax; all priority maintenance below is
+    # batched array arithmetic over neighbor slabs.
     heap: list[tuple[int, int, int]] = []
     counter = 0
-
-    def push(v: int) -> None:
-        nonlocal counter
-        heapq.heappush(heap, (-int(priority[v]), counter, int(v)))
-        counter += 1
+    push = heapq.heappush
+    keep_first = w1 == 0
 
     status[start] = _PREACTIVE
-    push(start)
+    push(heap, (-int(priority[start]), counter, int(start)))
+    counter += 1
 
+    indptr, indices = pattern.indptr, pattern.indices
     while count < n:
         # Pop until we find a vertex that is still unnumbered and whose
         # priority has not been superseded by a later push.
@@ -73,39 +99,42 @@ def _sloan_component(pattern: SymmetricPattern, w1: int, w2: int) -> np.ndarray:
             remaining = np.flatnonzero(status != _NUMBERED)
             v = int(remaining[0])
 
+        # First ring: every unnumbered neighbour loses v from its unnumbered
+        # count; numbering a preactive vertex additionally activates them.
+        nbrs = indices[indptr[v] : indptr[v + 1]]
+        ring1 = nbrs[status[nbrs] != _NUMBERED]
+        priority[ring1] += w1  # rows are duplicate-free: plain fancy-index add
         if status[v] == _PREACTIVE:
-            # Numbering a preactive vertex activates its neighbours.
-            for w in pattern.neighbors(v):
-                if status[w] == _NUMBERED:
-                    continue
-                priority[w] += w1  # v leaves w's "unnumbered neighbour" count
-                if status[w] == _INACTIVE:
-                    status[w] = _PREACTIVE
-                push(int(w))
-        else:
-            for w in pattern.neighbors(v):
-                if status[w] != _NUMBERED:
-                    priority[w] += w1
-                    push(int(w))
+            status[ring1[status[ring1] == _INACTIVE]] = _PREACTIVE
+        for w, prio in zip(ring1.tolist(), priority[ring1].tolist()):
+            push(heap, (-prio, counter, w))
+            counter += 1
 
         order[count] = v
         status[v] = _NUMBERED
         count += 1
 
         # Second ring: neighbours of newly preactive vertices gain priority
-        # because their future front growth shrinks.
-        for w in pattern.neighbors(v):
-            if status[w] == _NUMBERED:
-                continue
-            if status[w] == _PREACTIVE:
-                status[w] = _ACTIVE
-                for x in pattern.neighbors(int(w)):
-                    if status[x] == _NUMBERED:
-                        continue
-                    priority[x] += w1
-                    if status[x] == _INACTIVE:
-                        status[x] = _PREACTIVE
-                    push(int(x))
+        # because their future front growth shrinks.  The per-vertex loop is
+        # replaced by one scatter-add over the concatenated neighbor slab;
+        # pushes are deduplicated to one governing heap entry per vertex.
+        newly_active = ring1[status[ring1] == _PREACTIVE]
+        if newly_active.size:
+            status[newly_active] = _ACTIVE
+            slab, _offsets = pattern.neighbor_slab(newly_active)
+            targets = slab[status[slab] != _NUMBERED]
+            if newly_active.size == 1:
+                # one duplicate-free row: plain fancy-index add, no dedupe
+                priority[targets] += w1
+                batch = targets.tolist()
+            else:
+                np.add.at(priority, targets, w1)
+                batch = _dedupe_batch(targets.tolist(), keep_first)
+            if batch:
+                status[targets[status[targets] == _INACTIVE]] = _PREACTIVE
+                for x, prio in zip(batch, priority[batch].tolist()):
+                    push(heap, (-prio, counter, x))
+                    counter += 1
 
     return order
 

@@ -54,10 +54,14 @@ def symmetrize(matrix, mode: str = "or") -> sp.csr_matrix:
     if mode == "or":
         return ((a + at) * 0.5).tocsr()
     if mode == "and":
-        mask_a = a.copy()
-        mask_a.data = np.ones_like(mask_a.data)
-        mask_at = at.copy()
-        mask_at.data = np.ones_like(mask_at.data)
+        # Structure-only masks: share the index arrays and carry one byte per
+        # stored entry instead of duplicating the float data.
+        mask_a = sp.csr_matrix(
+            (np.ones(a.nnz, dtype=bool), a.indices, a.indptr), shape=a.shape
+        )
+        mask_at = sp.csr_matrix(
+            (np.ones(at.nnz, dtype=bool), at.indices, at.indptr), shape=at.shape
+        )
         both = mask_a.multiply(mask_at)
         return (((a + at) * 0.5).multiply(both)).tocsr()
     raise ValueError(f"mode must be 'or' or 'and', got {mode!r}")
@@ -71,8 +75,17 @@ def permute_symmetric(matrix, perm) -> sp.csr_matrix:
     """
     matrix, n = check_square(matrix, "matrix")
     perm = check_permutation(perm, n)
-    a = sp.csr_matrix(matrix)
-    return a[perm][:, perm].tocsr()
+    # One COO index remap instead of two fancy-index passes (a[perm][:, perm]
+    # builds a full intermediate matrix per axis): relabel every stored entry
+    # (i, j) to (inverse[i], inverse[j]) in a single sweep.
+    a = sp.coo_matrix(matrix)
+    inverse = np.empty(n, dtype=np.intp)
+    inverse[perm] = np.arange(n, dtype=np.intp)
+    permuted = sp.coo_matrix(
+        (a.data, (inverse[a.row], inverse[a.col])), shape=(n, n)
+    ).tocsr()
+    permuted.sort_indices()
+    return permuted
 
 
 def permute_pattern(pattern: SymmetricPattern, perm) -> SymmetricPattern:

@@ -23,6 +23,27 @@ from repro.utils.validation import as_int_array, check_permutation, require_posi
 __all__ = ["SymmetricPattern"]
 
 
+def _first_claims(
+    candidates: np.ndarray, positions: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Deduplicate *candidates* to first occurrences, preserving slab order.
+
+    This is the single source of the discovery-order contract every
+    whole-frontier kernel relies on: a vertex reached from several frontier
+    rows is claimed by its **first** occurrence (earliest row, then earliest
+    position within the row — exactly where a vertex-at-a-time scan would
+    first see it).  *positions* (indices of the candidates in the original
+    slab) is filtered alongside when given.
+    """
+    if candidates.size <= 1:
+        return candidates, positions
+    _unique, first = np.unique(candidates, return_index=True)
+    first.sort()
+    if positions is None:
+        return candidates[first], None
+    return candidates[first], positions[first]
+
+
 class SymmetricPattern:
     """Structure-only symmetric sparse matrix / undirected graph adjacency.
 
@@ -47,7 +68,7 @@ class SymmetricPattern:
     are implicit (assumed structurally nonzero), as in the paper.
     """
 
-    __slots__ = ("n", "indptr", "indices")
+    __slots__ = ("n", "indptr", "indices", "_degrees")
 
     def __init__(self, n: int, indptr, indices, copy: bool = False):
         self.n = require_positive_int(n, "n", minimum=0) if n != 0 else 0
@@ -64,6 +85,7 @@ class SymmetricPattern:
             raise ValueError("indptr must start at 0 and end at len(indices)")
         self.indptr = indptr
         self.indices = indices
+        self._degrees = None  # lazy degree cache (the structure is immutable)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -78,15 +100,34 @@ class SymmetricPattern:
         Duplicate edges are merged.  If *symmetrize* is true (default) each
         edge is inserted in both directions.
         """
-        n = require_positive_int(n, "n", minimum=0) if n != 0 else 0
         edge_list = [(int(i), int(j)) for i, j in edges]
         if edge_list:
             arr = np.asarray(edge_list, dtype=np.intp)
-            if arr.min() < 0 or arr.max() >= n:
-                raise ValueError("edge endpoints must lie in [0, n)")
             rows, cols = arr[:, 0], arr[:, 1]
         else:
             rows = cols = np.empty(0, dtype=np.intp)
+        return cls.from_edge_arrays(n, rows, cols, symmetrize=symmetrize)
+
+    @classmethod
+    def from_edge_arrays(
+        cls, n: int, rows, cols, symmetrize: bool = True
+    ) -> "SymmetricPattern":
+        """Build a pattern from parallel endpoint arrays (vectorized twin of
+        :meth:`from_edges` — no per-edge Python objects).
+
+        Self-loops are dropped and duplicates merged exactly as in
+        :meth:`from_edges`; the two constructors produce identical structures
+        for the same edge set.
+        """
+        n = require_positive_int(n, "n", minimum=0) if n != 0 else 0
+        rows = np.asarray(rows, dtype=np.intp).ravel()
+        cols = np.asarray(cols, dtype=np.intp).ravel()
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have the same length")
+        if rows.size and (
+            min(rows.min(), cols.min()) < 0 or max(rows.max(), cols.max()) >= n
+        ):
+            raise ValueError("edge endpoints must lie in [0, n)")
         if symmetrize and rows.size:
             rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
         mask = rows != cols
@@ -160,12 +201,16 @@ class SymmetricPattern:
         """Off-diagonal row counts (= graph vertex degrees).
 
         With no argument returns the full degree array; with an index returns
-        that vertex's degree.
+        that vertex's degree.  The array is computed once and memoized (the
+        structure is immutable), so the ordering kernels — which consult
+        degrees on every frontier — share a single copy.  Callers must not
+        mutate the returned array.
         """
-        degrees = np.diff(self.indptr)
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr).astype(np.intp)
         if i is None:
-            return degrees.astype(np.intp)
-        return int(degrees[i])
+            return self._degrees
+        return int(self._degrees[i])
 
     def neighbors(self, i: int) -> np.ndarray:
         """Sorted column indices of the off-diagonal nonzeros in row *i*."""
@@ -175,6 +220,82 @@ class SymmetricPattern:
         """Iterate ``(i, neighbors(i))`` for every row."""
         for i in range(self.n):
             yield i, self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    # ------------------------------------------------------------------ #
+    # batch (slab) neighbor access — the vectorized-kernel primitives
+    # ------------------------------------------------------------------ #
+    def neighbor_slab(self, vertices) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighbor lists of *vertices*, with segment offsets.
+
+        Returns ``(slab, offsets)`` where ``slab`` is the concatenation of
+        ``neighbors(v)`` for every ``v`` in *vertices* (in the given order,
+        each row in its stored sorted order) and ``offsets`` has length
+        ``len(vertices) + 1`` with ``slab[offsets[k]:offsets[k+1]]`` being the
+        neighbors of ``vertices[k]``.  This is the gather primitive the
+        whole-frontier BFS, coarsening and numbering kernels are built on:
+        one fancy-index replaces a Python loop over rows.
+        """
+        vertices = np.asarray(vertices, dtype=np.intp)
+        if 0 < vertices.size <= 8:
+            # Small sets (the per-step batches of Sloan / King maintenance):
+            # concatenating row views beats the vectorized gather below, whose
+            # fixed setup cost only amortizes over larger frontiers.
+            indptr, indices = self.indptr, self.indices
+            parts = [indices[indptr[v] : indptr[v + 1]] for v in vertices]
+            offsets = np.zeros(vertices.size + 1, dtype=np.intp)
+            total = 0
+            for i, part in enumerate(parts):
+                total += part.size
+                offsets[i + 1] = total
+            slab = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            return slab, offsets
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        offsets = np.zeros(vertices.size + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return np.empty(0, dtype=np.intp), offsets
+        # Gather positions: segment k covers starts[k] + (0..counts[k]-1).
+        gather = np.repeat(starts - offsets[:-1], counts) + np.arange(total, dtype=np.intp)
+        return self.indices[gather], offsets
+
+    def neighbors_of_set(self, vertices) -> np.ndarray:
+        """Sorted unique neighbors of the vertex set (set semantics).
+
+        Vertices of the set that are neighbors of other set members are
+        included; callers wanting the strict boundary mask them out.
+        """
+        slab, _offsets = self.neighbor_slab(vertices)
+        return np.unique(slab)
+
+    def frontier_expand(self, frontier, fresh: np.ndarray) -> np.ndarray:
+        """One whole-frontier BFS expansion step.
+
+        Returns the vertices of ``fresh`` (a boolean mask of length ``n``,
+        true = not yet discovered) adjacent to *frontier*, **in discovery
+        order**: the order a vertex-at-a-time scan over the frontier (rows in
+        frontier order, each row sorted) would first encounter them.  That
+        ordering contract is what keeps the vectorized BFS bit-identical to
+        the naive one.
+        """
+        slab, _offsets = self.neighbor_slab(frontier)
+        candidates, _positions = _first_claims(slab[fresh[slab]])
+        return candidates
+
+    def claim_frontier(self, frontier, fresh: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`frontier_expand` plus parent attribution.
+
+        Returns ``(candidates, parents)`` where ``parents[i]`` is the index
+        *into frontier* of the first frontier vertex whose row discovers
+        ``candidates[i]`` — the claiming parent the Cuthill-McKee enqueue and
+        the coarsening domain growth tie-break on.
+        """
+        slab, offsets = self.neighbor_slab(frontier)
+        keep = np.flatnonzero(fresh[slab])
+        candidates, keep = _first_claims(slab[keep], keep)
+        parents = np.searchsorted(offsets, keep, side="right") - 1
+        return candidates, parents
 
     def has_edge(self, i: int, j: int) -> bool:
         """Whether ``a_ij`` (``i != j``) is structurally nonzero."""
@@ -279,13 +400,24 @@ class SymmetricPattern:
             raise ValueError("vertices must be distinct")
         remap = -np.ones(self.n, dtype=np.intp)
         remap[vertices] = np.arange(vertices.size, dtype=np.intp)
-        edges = []
-        for new_i, old_i in enumerate(vertices):
-            nbrs = self.neighbors(int(old_i))
-            kept = remap[nbrs]
-            for new_j in kept[kept >= 0]:
-                edges.append((new_i, int(new_j)))
-        return SymmetricPattern.from_edges(vertices.size, edges, symmetrize=False)
+        slab, offsets = self.neighbor_slab(vertices)
+        mapped = remap[slab]
+        kept = mapped >= 0
+        # Per-row kept counts via a cumulative sum (reduceat mishandles empty
+        # rows), then assemble the sub-CSR directly — rows stay duplicate-free
+        # and symmetric because both endpoints survive iff both are selected.
+        running = np.zeros(slab.size + 1, dtype=np.intp)
+        np.cumsum(kept, out=running[1:])
+        sub_indptr = running[offsets]
+        m = sp.csr_matrix(
+            (np.ones(int(sub_indptr[-1]), dtype=np.int8), mapped[kept],
+             sub_indptr),
+            shape=(vertices.size, vertices.size),
+        )
+        m.sort_indices()
+        return SymmetricPattern(
+            vertices.size, m.indptr.astype(np.intp), m.indices.astype(np.intp)
+        )
 
     def validate(self) -> None:
         """Check all structural invariants; raise :class:`ValueError` on violation.

@@ -1,0 +1,65 @@
+"""Correctness of the suite-level problem cache and the degree memoization.
+
+The batch engine memoizes surrogate patterns per worker process
+(``repro.batch.engine._cached_pattern``) and ``SymmetricPattern.degree()``
+memoizes the degree array on the pattern itself.  Both are pure caches: a
+warm run must be **byte-identical in canonical form** to a cold one, and the
+cache must actually be hit across the algorithms of a problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.batch import clear_problem_cache, problem_cache_info, run_suite
+from repro.batch.tasks import BatchTask, build_tasks
+from repro.batch.engine import execute_task
+from repro.collections.registry import load_problem
+from repro.sparse.pattern import SymmetricPattern
+
+PROBLEMS = ["POW9", "CAN1072"]
+ALGORITHMS = ("rcm", "gps")
+SCALE = 0.02
+
+
+def test_cached_and_uncached_suite_runs_are_byte_identical():
+    clear_problem_cache()
+    cold = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+    cold_hits = problem_cache_info().hits
+    warm = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+    assert cold.to_json(include_timing=False) == warm.to_json(include_timing=False)
+    # The warm run must have been served from the cache, not rebuilt.
+    assert problem_cache_info().hits > cold_hits
+
+
+def test_cache_is_shared_across_a_problems_algorithms():
+    clear_problem_cache()
+    tasks = build_tasks(PROBLEMS, ALGORITHMS, scale=SCALE, base_seed=0)
+    for task in tasks:
+        record = execute_task(task)
+        assert record.status == "ok"
+    info = problem_cache_info()
+    # one miss per problem, one hit per extra algorithm of that problem
+    assert info.misses == len(PROBLEMS)
+    assert info.hits == len(tasks) - len(PROBLEMS)
+
+
+def test_cached_pattern_record_matches_explicit_pattern():
+    clear_problem_cache()
+    task = BatchTask(problem="POW9", algorithm="rcm", scale=SCALE, seed=123)
+    pattern, _spec = load_problem("POW9", scale=SCALE)
+    via_cache = execute_task(task)
+    explicit = execute_task(task, pattern=pattern)
+    assert via_cache.to_dict(include_timing=False) == explicit.to_dict(include_timing=False)
+
+
+def test_degree_memoization_returns_consistent_values():
+    pattern = SymmetricPattern.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)])
+    degrees = pattern.degree()
+    assert degrees is pattern.degree()  # memoized: same array object
+    assert np.array_equal(degrees, np.diff(pattern.indptr))
+    assert pattern.degree(1) == 2
+    # independent instances (copy / permute) do not share the cache
+    clone = pattern.copy()
+    assert clone.degree() is not degrees
+    assert np.array_equal(clone.degree(), degrees)

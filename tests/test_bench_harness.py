@@ -1,0 +1,191 @@
+"""The ``repro bench`` perf-regression harness: timing core, artifact
+round-trip, regression diffing, and the CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    diff_bench,
+    format_diff,
+    load_bench,
+    measure,
+    pinned_micro_suite,
+    run_bench,
+    save_bench,
+    time_call,
+)
+from repro.cli import main
+
+
+# --------------------------------------------------------------------- #
+# timing core
+# --------------------------------------------------------------------- #
+def test_time_call_returns_result_and_elapsed():
+    result, seconds = time_call(lambda x: x * 2, 21)
+    assert result == 42
+    assert seconds >= 0.0
+
+
+def test_measure_statistics():
+    calls = []
+    stats = measure(lambda: calls.append(1), repeats=3, warmup=2)
+    assert len(calls) == 5  # warmup runs execute but are not timed
+    assert stats["repeats"] == 3
+    assert len(stats["times_s"]) == 3
+    assert stats["best_s"] == min(stats["times_s"])
+    assert stats["best_s"] <= stats["mean_s"]
+
+
+def test_measure_rejects_nonpositive_repeats():
+    with pytest.raises(ValueError):
+        measure(lambda: None, repeats=0)
+
+
+# --------------------------------------------------------------------- #
+# harness + artifact
+# --------------------------------------------------------------------- #
+def test_pinned_micro_suite_names_are_stable_and_unique():
+    for quick in (False, True):
+        names = [bench.name for bench in pinned_micro_suite(quick)]
+        assert len(names) == len(set(names))
+        assert all(name.count("/") == 2 for name in names)
+    # quick mode is a subset-shaped suite, not a rename of the full one
+    assert {b.group for b in pinned_micro_suite(True)} == {"orderings", "graph", "eigen"}
+
+
+def _tiny_artifact(tmp_path, name="bench.json", **overrides):
+    """A real (but minimal) run: one filtered kernel, no suite section."""
+    artifact = run_bench(quick=True, repeats=1, name_filter="mis", rev="test-rev")
+    artifact.update(overrides)
+    return save_bench(artifact, tmp_path / name), artifact
+
+
+def test_run_bench_artifact_schema(tmp_path):
+    path, artifact = _tiny_artifact(tmp_path)
+    assert artifact["schema_version"] == BENCH_SCHEMA_VERSION
+    assert artifact["rev"] == "test-rev"
+    assert artifact["machine"]["numpy"]
+    assert len(artifact["kernels"]) == 1
+    (kernel,) = artifact["kernels"]
+    assert kernel["name"] == "graph/mis/PWT@0.03"
+    assert kernel["best_s"] >= 0.0
+    assert artifact["suite"] is None  # filtered runs skip the suite section
+    assert load_bench(path) == json.loads(path.read_text())
+
+
+def test_load_bench_rejects_foreign_and_future_files(tmp_path):
+    not_bench = tmp_path / "other.json"
+    not_bench.write_text('{"schema_version": 1}')
+    with pytest.raises(ValueError, match="not a repro bench artifact"):
+        load_bench(not_bench)
+    future = tmp_path / "future.json"
+    future.write_text(json.dumps({"kind": "repro-bench",
+                                  "schema_version": BENCH_SCHEMA_VERSION + 1}))
+    with pytest.raises(ValueError, match="schema version"):
+        load_bench(future)
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{nope")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_bench(garbage)
+
+
+def _artifact_with(kernels, suite=None, rev="r"):
+    return {"schema_version": 1, "kind": "repro-bench", "rev": rev,
+            "machine": {}, "config": {}, "kernels": kernels, "suite": suite,
+            "total_s": 0.0}
+
+
+def test_diff_bench_speedups_and_regressions():
+    baseline = _artifact_with(
+        [{"name": "a", "best_s": 1.0}, {"name": "b", "best_s": 0.10},
+         {"name": "gone", "best_s": 1.0}],
+        suite={"cells": [{"problem": "P", "algorithm": "rcm",
+                          "status": "ok", "time_s": 2.0}]},
+        rev="old",
+    )
+    current = _artifact_with(
+        [{"name": "a", "best_s": 0.25}, {"name": "b", "best_s": 0.20},
+         {"name": "new", "best_s": 1.0}],
+        suite={"cells": [{"problem": "P", "algorithm": "rcm",
+                          "status": "ok", "time_s": 0.5}]},
+        rev="new",
+    )
+    diff = diff_bench(baseline, current, threshold=0.25)
+    by_name = {row["name"]: row for row in diff["rows"]}
+    assert by_name["a"]["speedup"] == pytest.approx(4.0)
+    assert by_name["suite/P/rcm"]["speedup"] == pytest.approx(4.0)
+    assert by_name["b"]["regressed"] is True
+    assert diff["regressions"] == ["b"]
+    assert diff["added"] == ["new"]
+    assert diff["removed"] == ["gone"]
+    # geomean over (4, 0.5, 4): (4 * 0.5 * 4) ** (1/3) = 2.0
+    assert diff["geomean_speedup"] == pytest.approx(2.0)
+    # totals cover the kernel rows only (a + b), not the suite cells
+    assert diff["total_base_s"] == pytest.approx(1.10)
+    assert diff["total_new_s"] == pytest.approx(0.45)
+    assert diff["total_speedup"] == pytest.approx(1.10 / 0.45)
+    text = format_diff(diff)
+    assert "REGRESSION" in text and "geometric-mean" in text
+    assert "total micro-suite wall time" in text
+
+
+def test_diff_bench_ignores_noise_floor_regressions():
+    baseline = _artifact_with([{"name": "tiny", "best_s": 1e-5}])
+    current = _artifact_with([{"name": "tiny", "best_s": 9e-5}])
+    diff = diff_bench(baseline, current)
+    assert diff["regressions"] == []
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def test_cli_bench_writes_artifact_and_diffs_clean(tmp_path, capsys):
+    out = tmp_path / "BENCH_one.json"
+    code = main(["bench", "--quick", "--filter", "graph/mis", "--repeats", "1",
+                 "--output", str(out)])
+    assert code == 0
+    assert load_bench(out)["kernels"]
+    # a self-diff has no regressions -> exit 0
+    code = main(["bench", "--quick", "--filter", "graph/mis", "--repeats", "1",
+                 "--output", str(tmp_path / "BENCH_two.json"),
+                 "--against", str(out)])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "bench diff" in stdout and "no regressions" in stdout
+
+
+def test_cli_bench_exits_nonzero_on_regression(tmp_path, monkeypatch):
+    import repro.cli
+
+    baseline = _artifact_with([{"name": "k", "best_s": 0.010}])
+    path = tmp_path / "BENCH_base.json"
+    path.write_text(json.dumps(baseline))
+    regressed = _artifact_with([{"name": "k", "best_s": 0.100}], rev="slow")
+
+    def fake_run_bench(**_kwargs):
+        return regressed
+
+    import repro.bench
+    monkeypatch.setattr(repro.bench, "run_bench", fake_run_bench)
+    code = repro.cli.main(["bench", "--output", str(tmp_path / "BENCH_now.json"),
+                           "--against", str(path)])
+    assert code == 1
+
+
+def test_cli_bench_rejects_nonpositive_repeats(capsys):
+    assert main(["bench", "--quick", "--repeats", "0"]) == 2
+    assert "--repeats" in capsys.readouterr().err
+
+
+def test_cli_bench_bad_baseline_exit_2(tmp_path):
+    missing = main(["bench", "--quick", "--filter", "graph/mis",
+                    "--against", str(tmp_path / "nope.json")])
+    assert missing == 2
+    invalid = tmp_path / "invalid.json"
+    invalid.write_text("{}")
+    assert main(["bench", "--quick", "--filter", "graph/mis",
+                 "--against", str(invalid)]) == 2
