@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""Sharded-suite scaling of the batch engine (`repro suite --shard K/N`).
+"""Sharded-suite scaling of the batch engine (`repro suite --shard K/N`),
+round-robin vs the cost-balanced LPT planner (`--balance cost`).
 
-Simulates an N-machine run on one box: executes the N round-robin shards of
-one paper table's ``problems x algorithms`` cross-product sequentially,
-merges the artifacts (:func:`repro.batch.results.merge_results`), verifies
-that the merged result is *byte-identical* in canonical form to a
-single-machine run, and reports the per-shard wall times — the balance of
-the round-robin partition is what an actual cluster's makespan would be.
-A summary is written to ``benchmarks/results/shard_merge.txt``.
+Simulates an N-machine run on one box twice: once with the deterministic
+round-robin shards and once with the shards planned by
+:func:`repro.batch.sched.plan_shards` from a cost model fit on the reference
+run.  Both shard sets are merged (:func:`repro.batch.results.merge_results`)
+and verified *byte-identical* in canonical form to the single-machine run;
+the per-shard wall times give the makespan an actual cluster would see —
+the before/after number the scheduler exists to improve.  A summary is
+written to ``benchmarks/results/shard_merge.txt``.
 
 Run with::
 
@@ -24,10 +26,33 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.batch import merge_results, run_suite
+from repro.batch import CostModel, merge_results, plan_shards, run_suite
+from repro.batch.tasks import build_tasks
 from repro.collections.registry import available_problems
+from repro.orderings.registry import PAPER_ALGORITHMS
 
 RESULTS_PATH = Path(__file__).parent / "results" / "shard_merge.txt"
+
+
+def run_split(problems, scale, jobs, shards, balance, cost_model, reference):
+    """Run all N shards of one split sequentially; verify the merge; return
+    the per-shard wall times."""
+    results = []
+    for k in range(1, shards + 1):
+        shard = run_suite(problems, scale=scale, n_jobs=jobs,
+                          shard=(k, shards), balance=balance,
+                          cost_model=cost_model, keep_orderings=False)
+        results.append(shard)
+        print(f"  [{balance:>10}] shard {k}/{shards}: {len(shard.records):3d} "
+              f"task(s) in {shard.wall_time_s:.2f} s")
+    merged = merge_results(results)
+    if merged.to_json(include_timing=False) != reference.to_json(include_timing=False):
+        print(f"ERROR: {balance} shards merged != single-machine run:",
+              file=sys.stderr)
+        for line in reference.diff(merged):
+            print(f"  {line}", file=sys.stderr)
+        raise SystemExit(1)
+    return [shard.wall_time_s for shard in results]
 
 
 def main() -> int:
@@ -47,36 +72,33 @@ def main() -> int:
                           keep_orderings=False)
     print(f"  wall time: {reference.wall_time_s:.2f} s")
 
-    shards = []
-    for k in range(1, args.shards + 1):
-        shard = run_suite(problems, scale=args.scale, n_jobs=args.jobs,
-                          shard=(k, args.shards), keep_orderings=False)
-        shards.append(shard)
-        print(f"  shard {k}/{args.shards}: {len(shard.records):3d} task(s) "
-              f"in {shard.wall_time_s:.2f} s")
+    model = CostModel()
+    model.observe_suite(reference)
+    tasks = build_tasks(problems, PAPER_ALGORITHMS, scale=args.scale)
+    plan = plan_shards(tasks, args.shards, model)
 
-    merged = merge_results(shards)
-    identical = (merged.to_json(include_timing=False)
-                 == reference.to_json(include_timing=False))
-    if not identical:
-        print("ERROR: merged shards differ from the single-machine run:",
-              file=sys.stderr)
-        for line in reference.diff(merged):
-            print(f"  {line}", file=sys.stderr)
-        return 1
+    rr_times = run_split(problems, args.scale, args.jobs, args.shards,
+                         "roundrobin", None, reference)
+    lpt_times = run_split(problems, args.scale, args.jobs, args.shards,
+                          "cost", model, reference)
 
-    makespan = max(shard.wall_time_s for shard in shards)
-    total = sum(shard.wall_time_s for shard in shards)
+    rr_makespan, lpt_makespan = max(rr_times), max(lpt_times)
+    total = sum(lpt_times)
     lines = [
         f"Shard scaling — Table {args.table}, scale={args.scale}, "
         f"{len(reference.records)} tasks, {args.shards} shard(s), "
         f"jobs/shard={args.jobs}",
-        f"single machine      : {reference.wall_time_s:8.2f} s",
-        f"slowest shard       : {makespan:8.2f} s  (cluster makespan)",
-        f"sum of shards       : {total:8.2f} s  (total compute)",
-        f"ideal makespan      : {reference.wall_time_s / args.shards:8.2f} s",
-        f"balance efficiency  : {total / (args.shards * makespan):8.2%}",
-        "merged == single-machine (canonical form): yes",
+        f"single machine          : {reference.wall_time_s:8.2f} s",
+        f"round-robin makespan    : {rr_makespan:8.2f} s  (before)",
+        f"cost-balanced makespan  : {lpt_makespan:8.2f} s  (after, "
+        f"{plan.strategy} plan)",
+        f"makespan improvement    : {rr_makespan / lpt_makespan:8.2f} x",
+        f"planner estimate        : {plan.makespan:8.2f} s vs round-robin "
+        f"{plan.round_robin_makespan:.2f} s",
+        f"sum of shards           : {total:8.2f} s  (total compute)",
+        f"ideal makespan          : {reference.wall_time_s / args.shards:8.2f} s",
+        f"balance efficiency      : {total / (args.shards * lpt_makespan):8.2%}",
+        "merged == single-machine (canonical form): yes, for both splits",
     ]
     print("\n".join(lines))
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)

@@ -47,31 +47,45 @@ from repro.batch.results import (
     SchemaVersionError,
     SuiteResult,
     TaskRecord,
+    dedupe_records,
     merge_results,
 )
-from repro.batch.stream import StreamWriter, read_stream, stream_header, validate_stream_header
+from repro.batch.sched import CostModel, ShardPlan, order_longest_first, plan_shards
+from repro.batch.stream import (
+    StreamWriter,
+    read_stream,
+    stream_header,
+    suite_from_stream,
+    validate_stream_header,
+)
 from repro.batch.tasks import BatchTask, build_tasks, derive_seed, parse_shard, shard_tasks
 
 __all__ = [
     "BatchTask",
+    "CostModel",
     "READ_COMPAT_VERSIONS",
     "SCHEMA_VERSION",
     "SchemaVersionError",
+    "ShardPlan",
     "StreamWriter",
     "SuiteResult",
     "TaskRecord",
     "build_tasks",
     "clear_problem_cache",
+    "dedupe_records",
     "derive_seed",
     "execute_task",
     "problem_cache_info",
     "iter_suite",
     "merge_results",
+    "order_longest_first",
     "parse_shard",
+    "plan_shards",
     "read_stream",
     "run_suite",
     "shard_tasks",
     "stream_header",
+    "suite_from_stream",
     "task_options",
     "validate_stream_header",
 ]

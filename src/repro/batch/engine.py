@@ -48,6 +48,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.batch.results import SuiteResult, TaskRecord
+from repro.batch.sched import CostModel, order_longest_first, plan_shards
 from repro.batch.tasks import BatchTask, build_tasks, shard_tasks
 from repro.collections.registry import load_problem
 from repro.envelope.metrics import envelope_statistics
@@ -304,7 +305,11 @@ def run_suite(
     base_seed: int = 0,
     keep_orderings: bool = True,
     shard: tuple | None = None,
+    balance: str = "roundrobin",
+    cost_model: CostModel | None = None,
     timeout: float | None = None,
+    retry_timeouts: int = 0,
+    timeout_growth: float = 2.0,
     completed=None,
     on_record=None,
 ) -> SuiteResult:
@@ -330,13 +335,41 @@ def run_suite(
         When false, the permutation objects are dropped from the records
         (smaller in-memory result; the JSON artifact never contains them).
     shard:
-        ``(index, count)`` (1-based) to run only that round-robin slice of
-        the task list — the ``--shard K/N`` distribution primitive.  The
-        result records the shard so :func:`repro.batch.results.merge_results`
+        ``(index, count)`` (1-based) to run only one slice of the task
+        list — the ``--shard K/N`` distribution primitive.  The result
+        records the shard so :func:`repro.batch.results.merge_results`
         can validate and recombine the slices.
+    balance:
+        How ``shard`` splits the task list: ``"roundrobin"`` (default, the
+        stable index-modulo slices) or ``"cost"`` (the greedy LPT plan of
+        :func:`repro.batch.sched.plan_shards`, balanced on the cost
+        model's estimates — all machines must use the same cost model to
+        get disjoint slices).  Either way the merged result is
+        byte-identical in canonical form to a single-machine run.
+    cost_model:
+        :class:`~repro.batch.sched.CostModel` feeding both the
+        cost-balanced shard plan and the in-process dispatcher, which
+        hands worker pools the expensive cells first so the pool drains
+        without tail stragglers.  ``balance="cost"`` without a model uses
+        the pure fallback estimator.  Never affects results — only which
+        machine/worker computes them when.
     timeout:
         Per-task wall-clock limit in seconds (see :func:`iter_suite`);
         overrunning tasks become ``"timeout"`` records.
+    retry_timeouts:
+        Number of escalation rounds for timed-out cells.  After the suite
+        drains, cells with a ``"timeout"`` record are re-enqueued with the
+        limit multiplied by ``timeout_growth`` (compounding per round)
+        until they complete or the rounds run out.  Each retried attempt
+        flows through ``on_record`` — streaming sinks append it as a
+        superseding record — and the returned result holds only the final
+        attempt per cell.  Records reused from ``completed`` are never
+        retried, even if they are timeouts (the ``completed`` contract
+        above stands; the CLI's resume path filters reusable timeouts out
+        before calling).
+    timeout_growth:
+        Multiplier applied to the timeout each escalation round
+        (default 2.0; must be positive).
     completed:
         Already-finished :class:`TaskRecord` s from a previous (killed) run
         of the *same* specification — the resume path.  Matching cells are
@@ -361,6 +394,16 @@ def run_suite(
     n_jobs = int(n_jobs)
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be a positive integer or None, got {n_jobs}")
+    if balance not in ("roundrobin", "cost"):
+        raise ValueError(
+            f"balance must be 'roundrobin' or 'cost', got {balance!r}"
+        )
+    retry_timeouts = int(retry_timeouts)
+    if retry_timeouts < 0:
+        raise ValueError(f"retry_timeouts must be >= 0, got {retry_timeouts}")
+    timeout_growth = float(timeout_growth)
+    if timeout_growth <= 0:
+        raise ValueError(f"timeout_growth must be positive, got {timeout_growth}")
 
     problems = [str(name).strip().upper() for name in problem_names]
     algorithms = tuple(algorithms)
@@ -373,7 +416,16 @@ def run_suite(
     )
     if shard is not None:
         shard = (int(shard[0]), int(shard[1]))
-        tasks = shard_tasks(tasks, *shard)
+        if balance == "cost":
+            if not 1 <= shard[0] <= shard[1]:
+                raise ValueError(
+                    f"shard index {shard[0]} out of range for shard count "
+                    f"{shard[1]} (need 1 <= index <= count)"
+                )
+            plan = plan_shards(tasks, shard[1], cost_model or CostModel())
+            tasks = list(plan.shards[shard[0] - 1])
+        else:
+            tasks = shard_tasks(tasks, *shard)
 
     reused: dict[tuple, list] = {}
     for record in completed or []:
@@ -385,6 +437,16 @@ def run_suite(
             pairs.append((task, bucket.pop(0)))
         else:
             remaining.append(task)
+    # Reused records are honoured verbatim whatever their status — the
+    # escalation loop below must not re-run them (callers that want reused
+    # timeouts retried filter them out of `completed`, as the CLI does).
+    reused_indices = {task.index for task, _record in pairs}
+
+    if cost_model is not None:
+        # Dynamic LPT dispatch: expensive cells enter the pool first, cheap
+        # ones backfill the stragglers.  Purely a scheduling choice — the
+        # records are re-sorted into canonical task order below.
+        remaining = order_longest_first(remaining, cost_model)
 
     total = len(tasks)
     done = 0
@@ -399,6 +461,26 @@ def run_suite(
             done += 1
             if on_record is not None:
                 on_record(record, done, total)
+        # Timeout-retry escalation: re-run timed-out cells with a grown
+        # limit, replacing their records in place.  Every new attempt still
+        # flows through on_record, so a JSONL sink receives it as a
+        # superseding record (last attempt wins on read-back).
+        attempt_timeout = timeout
+        for _round in range(retry_timeouts):
+            slots = {pair[0].index: slot for slot, pair in enumerate(pairs)
+                     if pair[1].status == "timeout"
+                     and pair[0].index not in reused_indices}
+            if not slots or attempt_timeout is None:
+                break
+            attempt_timeout *= timeout_growth
+            retry_tasks = [pairs[slot][0] for slot in slots.values()]
+            if cost_model is not None:
+                retry_tasks = order_longest_first(retry_tasks, cost_model)
+            for task, record in iter_suite(retry_tasks, n_jobs=n_jobs,
+                                           timeout=attempt_timeout):
+                pairs[slots[task.index]] = (task, record)
+                if on_record is not None:
+                    on_record(record, done, total)
     pairs.sort(key=lambda pair: pair[0].index)
     records = [record for _task, record in pairs]
     if not keep_orderings:

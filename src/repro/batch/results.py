@@ -70,6 +70,7 @@ __all__ = [
     "SchemaVersionError",
     "SuiteResult",
     "TaskRecord",
+    "dedupe_records",
     "merge_results",
 ]
 
@@ -380,6 +381,33 @@ class SuiteResult:
             if include_timing and a.time_s != b.time_s:
                 differences.append(f"{label}: time_s {a.time_s!r} != {b.time_s!r}")
         return differences
+
+
+def dedupe_records(records) -> list:
+    """Collapse repeated ``(problem, algorithm)`` cells to the *last* attempt.
+
+    Timeout-retry escalation (``--retry-timeouts``) appends a superseding
+    record for every retried cell to the same JSONL stream, so a stream can
+    legitimately carry several records for one cell.  The supersede rule is
+    positional: the last record written wins — a retried cell's final
+    ``"ok"`` (or final ``"timeout"``, if every escalation ran out) replaces
+    the earlier attempts.  Cells keep their first-appearance order, so a
+    stream without retries round-trips unchanged.
+
+    >>> first = TaskRecord(problem="POW9", algorithm="gk", status="timeout")
+    >>> second = TaskRecord(problem="POW9", algorithm="gk", status="ok")
+    >>> other = TaskRecord(problem="POW9", algorithm="rcm")
+    >>> [(r.algorithm, r.status) for r in dedupe_records([first, other, second])]
+    [('gk', 'ok'), ('rcm', 'ok')]
+    """
+    by_cell: dict[tuple, TaskRecord] = {}
+    order: list[tuple] = []
+    for record in records:
+        cell = (record.problem, record.algorithm)
+        if cell not in by_cell:
+            order.append(cell)
+        by_cell[cell] = record
+    return [by_cell[cell] for cell in order]
 
 
 def merge_results(suites) -> SuiteResult:

@@ -34,9 +34,21 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.batch.results import SCHEMA_VERSION, SchemaVersionError, TaskRecord
+from repro.batch.results import (
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    SuiteResult,
+    TaskRecord,
+    dedupe_records,
+)
 
-__all__ = ["StreamWriter", "read_stream", "stream_header", "validate_stream_header"]
+__all__ = [
+    "StreamWriter",
+    "read_stream",
+    "stream_header",
+    "suite_from_stream",
+    "validate_stream_header",
+]
 
 _ENGINE_NAME = "repro.batch"
 
@@ -49,8 +61,19 @@ def stream_header(
     base_seed: int,
     shard: tuple | None,
     total_tasks: int,
+    balance: str = "roundrobin",
+    cost_fingerprint: str | None = None,
 ) -> dict:
-    """The header object written as the first line of a stream file."""
+    """The header object written as the first line of a stream file.
+
+    ``balance`` and ``cost_fingerprint`` pin *how the shard slice was
+    chosen*: for a cost-balanced run
+    (``--balance cost``), the slice depends on the cost model
+    (:meth:`repro.batch.sched.CostModel.fingerprint`), so resuming under a
+    different model — which would cover a different slice — must be
+    rejected, not silently mixed.  Round-robin runs record
+    ``cost_fingerprint=None``.
+    """
     return {
         "kind": "header",
         "schema_version": SCHEMA_VERSION,
@@ -60,6 +83,8 @@ def stream_header(
         "scale": scale,
         "base_seed": int(base_seed),
         "shard": None if shard is None else [int(shard[0]), int(shard[1])],
+        "balance": str(balance),
+        "cost_fingerprint": cost_fingerprint,
         "total_tasks": int(total_tasks),
     }
 
@@ -70,7 +95,12 @@ def validate_stream_header(header: dict, expected: dict) -> None:
     ``expected`` is a header built by :func:`stream_header` from the current
     invocation.  Raises :exc:`SchemaVersionError` on an unreadable schema
     version and :exc:`ValueError` on any specification mismatch — resuming a
-    different suite would silently drop tasks or mix seeds.
+    different suite (or a different cost-balanced slice of the same suite)
+    would silently drop tasks or mix seeds.
+
+    Headers written before the scheduler existed carry no ``balance`` /
+    ``cost_fingerprint`` keys; they are treated as round-robin, so old
+    stream files still resume.
     """
     version = header.get("schema_version")
     if version != SCHEMA_VERSION:
@@ -84,6 +114,16 @@ def validate_stream_header(header: dict, expected: dict) -> None:
             raise ValueError(
                 f"stream file was written for a different suite: "
                 f"{name}={theirs!r} there vs {mine!r} now"
+            )
+    for name, default in (("balance", "roundrobin"), ("cost_fingerprint", None)):
+        mine = expected.get(name, default) or default
+        theirs = header.get(name, default) or default
+        if mine != theirs:
+            raise ValueError(
+                f"stream file was written for a different shard plan: "
+                f"{name}={theirs!r} there vs {mine!r} now (a cost-balanced "
+                f"slice is only resumable under the same --balance and "
+                f"cost model)"
             )
 
 
@@ -183,3 +223,39 @@ def read_stream(path) -> tuple[dict, list[TaskRecord]]:
                 f"({type(exc).__name__}: {exc})"
             ) from None
     return header, records
+
+
+def suite_from_stream(path) -> SuiteResult:
+    """Read a stream file into a :class:`~repro.batch.results.SuiteResult`.
+
+    The specification comes from the header; retried cells — a timeout
+    record superseded by a later attempt, the ``--retry-timeouts`` stream
+    shape — are deduped to the **final** attempt
+    (:func:`repro.batch.results.dedupe_records`).  This is what lets
+    ``repro merge`` accept ``.jsonl`` stream files alongside JSON shard
+    artifacts: an interrupted or retried stream still reduces to at most
+    one record per cell.
+
+    Timing aggregates are stream-level: ``wall_time_s`` sums the retained
+    records' ``time_s`` (the per-machine wall time was never recorded in
+    the stream).  Raises the same errors as :func:`read_stream`, plus
+    :exc:`SchemaVersionError` for a header this build cannot read.
+    """
+    header, records = read_stream(path)
+    version = header.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"stream file {path} has schema version {version!r}; this build "
+            f"streams version {SCHEMA_VERSION}"
+        )
+    shard = header.get("shard")
+    records = dedupe_records(records)
+    return SuiteResult(
+        problems=list(header.get("problems", [])),
+        algorithms=list(header.get("algorithms", [])),
+        scale=header.get("scale"),
+        base_seed=int(header.get("base_seed", 0)),
+        records=records,
+        wall_time_s=float(sum(record.time_s for record in records)),
+        shard=None if shard is None else (int(shard[0]), int(shard[1])),
+    )

@@ -22,7 +22,10 @@ across machines without changing any result: :func:`shard_tasks` selects a
 stable round-robin slice ``k/n`` of the full expansion, and the JSON
 artifacts of the ``n`` slices recombine (``repro merge`` /
 :func:`repro.batch.results.merge_results`) into exactly the artifact a
-single-machine run would have produced.
+single-machine run would have produced.  Round-robin is the default
+partition; :func:`repro.batch.sched.plan_shards` offers a cost-balanced
+alternative (``--balance cost``) over the same expansion, with the same
+merge guarantee.
 """
 
 from __future__ import annotations
@@ -174,7 +177,9 @@ def shard_tasks(tasks, shard_index: int, shard_count: int) -> list[BatchTask]:
     is a pure function of the task indices, so ``shard_count`` machines given
     the same suite specification run disjoint slices whose union is exactly
     the full task list — and round-robin keeps each slice's mix of cheap and
-    expensive problems balanced.
+    expensive *problems* balanced.  It knows nothing about per-cell cost,
+    though: when one algorithm dominates (spectral vs RCM), prefer the
+    cost-balanced plan of :func:`repro.batch.sched.plan_shards`.
 
     >>> tasks = build_tasks(["POW9", "CAN1072"], ("rcm", "gps"), scale=0.02)
     >>> [(t.problem, t.algorithm) for t in shard_tasks(tasks, 1, 3)]

@@ -279,6 +279,11 @@ def run_bench(
                     "algorithm": record.algorithm,
                     "status": record.status,
                     "time_s": record.time_s,
+                    # n/nnz let the scheduler's CostModel fit per-algorithm
+                    # cost rates from bench artifacts (additive; older
+                    # artifacts without them still load and diff fine).
+                    "n": record.n,
+                    "nnz": record.nnz,
                 }
                 for record in suite.records
             ],

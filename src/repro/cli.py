@@ -20,24 +20,31 @@ actually runs (full reference: ``docs/running.md``):
         repro suite --jobs 4 --output results.json
         repro suite POW9 BARTH4 --algorithms rcm,spectral --scale 0.05 \\
             --baseline results.json
-        repro suite --shard 2/3 --timeout 120 \\
+        repro suite --shard 2/3 --balance cost --cost-model costs.json \\
+            --timeout 120 --retry-timeouts 2 \\
             --stream-output shard2.jsonl --output shard2.json
 
     ``--output`` saves a versioned JSON artifact (see
     :mod:`repro.batch.results` for the schema); ``--baseline`` diffs the run
     against a saved artifact, ignoring timing fields, and exits nonzero on
     drift.  ``--shard K/N`` runs the k-th of N disjoint slices (one machine
-    each), ``--timeout`` bounds every task, and ``--stream-output`` /
-    ``--resume`` make a killed run restartable from its JSONL record stream.
+    each) — round-robin by default, or balanced on estimated per-cell cost
+    with ``--balance cost`` (see :mod:`repro.batch.sched`).  ``--timeout``
+    bounds every task, ``--retry-timeouts`` re-runs timed-out cells with
+    escalating limits, and ``--stream-output`` / ``--resume`` make a killed
+    run restartable from its JSONL record stream.
 
 ``merge``
     Recombine the shard artifacts of a distributed suite run::
 
         repro merge shard1.json shard2.json shard3.json --output full.json
+        repro merge shard1.jsonl shard2.json --output full.json
 
     Validates schema versions, specification compatibility and
     duplicate/missing cells; the merged artifact is byte-identical in
-    canonical form to a single-machine run.
+    canonical form to a single-machine run.  ``.jsonl`` stream files are
+    accepted alongside JSON artifacts, with retried cells deduped to the
+    final attempt.
 
 ``bench``
     Run the pinned perf micro-suite and write a versioned ``BENCH_<rev>.json``
@@ -47,6 +54,8 @@ actually runs (full reference: ``docs/running.md``):
         repro bench --against BENCH_abc1234.json   # rerun + diff; exit 1 on
                                                    # perf regressions
         repro bench --quick                        # CI smoke variant
+        repro bench --export-cost-model costs.json # also fit a scheduler
+                                                   # cost model from the run
 
     See ``docs/performance.md`` for the artifact schema and how to read a
     regression diff.
@@ -74,14 +83,19 @@ import numpy as np
 from repro.analysis.report import format_table
 from repro.analysis.runner import run_comparison
 from repro.batch import (
+    CostModel,
     SchemaVersionError,
     StreamWriter,
     SuiteResult,
+    build_tasks,
+    dedupe_records,
     merge_results,
     parse_shard,
+    plan_shards,
     read_stream,
     run_suite,
     stream_header,
+    suite_from_stream,
     validate_stream_header,
 )
 from repro.analysis.spy import ascii_spy, band_profile
@@ -236,11 +250,47 @@ def _cmd_suite(args) -> int:
             print(exc, file=sys.stderr)
             return 2
 
+    if args.retry_timeouts and args.timeout is None:
+        print("--retry-timeouts needs --timeout (nothing can time out without "
+              "a per-task limit)", file=sys.stderr)
+        return 2
+
+    cost_model = None
+    if args.cost_model:
+        try:
+            cost_model = CostModel.from_file(args.cost_model)
+        except OSError as exc:
+            print(f"cannot read cost-model file {args.cost_model}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"cost model {args.cost_model}: {exc}", file=sys.stderr)
+            return 2
+    if args.balance == "cost" and cost_model is None:
+        # No prior timings: the pure n*nnz fallback estimator still beats
+        # round-robin on mixed-cost suites and stays deterministic.
+        cost_model = CostModel()
+
     normalized = [str(name).strip().upper() for name in problems]
     total_tasks = len(normalized) * len(algorithms)
     if shard is not None:
         index, count = shard
-        total_tasks = len(range(index - 1, total_tasks, count))
+        if args.balance == "cost":
+            try:
+                full_tasks = build_tasks(normalized, algorithms,
+                                         scale=args.scale, base_seed=args.seed)
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            plan = plan_shards(full_tasks, count, cost_model)
+            total_tasks = len(plan.shards[index - 1])
+            print(f"cost balance ({plan.strategy} plan, "
+                  f"{len(cost_model)} observation(s)): shard {index}/{count} gets "
+                  f"{total_tasks} of {len(full_tasks)} task(s); estimated "
+                  f"makespan {plan.makespan:.2f} s vs round-robin "
+                  f"{plan.round_robin_makespan:.2f} s", file=sys.stderr)
+        else:
+            total_tasks = len(range(index - 1, total_tasks, count))
     expected_header = stream_header(
         normalized,
         list(algorithms),
@@ -248,6 +298,14 @@ def _cmd_suite(args) -> int:
         base_seed=args.seed,
         shard=shard,
         total_tasks=total_tasks,
+        # The header pins how the *slice* was chosen, not the dispatch
+        # flags: without --shard there is no slice selection, and plain
+        # dispatch ordering never changes which cells run, so an unsharded
+        # stream stays resumable whatever --balance/--cost-model say.
+        balance=args.balance if shard is not None else "roundrobin",
+        cost_fingerprint=(cost_model.fingerprint()
+                          if shard is not None and args.balance == "cost"
+                          else None),
     )
 
     stream_path = Path(args.stream_output) if args.stream_output else None
@@ -273,6 +331,9 @@ def _cmd_suite(args) -> int:
             except ValueError as exc:
                 print(f"cannot resume from {resume_path}: {exc}", file=sys.stderr)
                 return 2
+            # Retried cells appear several times in an escalated stream;
+            # only the final attempt counts (supersede semantics).
+            completed = dedupe_records(completed)
             # Timeout records are machine/limit artifacts, not results:
             # retry those cells (possibly under a new --timeout) instead of
             # carrying the timeout forward.
@@ -311,7 +372,11 @@ def _cmd_suite(args) -> int:
             n_jobs=args.jobs,
             base_seed=args.seed,
             shard=shard,
+            balance=args.balance,
+            cost_model=cost_model,
             timeout=args.timeout,
+            retry_timeouts=args.retry_timeouts,
+            timeout_growth=args.timeout_growth,
             completed=completed,
             on_record=on_record,
         )
@@ -355,10 +420,54 @@ def _cmd_suite(args) -> int:
     return 1 if suite.failures else 0
 
 
+def _load_stream_input(path: str) -> "SuiteResult | int":
+    """Load a JSONL stream file as a merge input, or return exit code 2.
+
+    Retried cells (timeout records superseded by a later attempt) are
+    deduped to the final attempt, so a stream written under
+    ``--retry-timeouts`` merges cleanly.
+    """
+    try:
+        return suite_from_stream(path)
+    except SchemaVersionError as exc:
+        print(f"shard stream {path}: results-schema mismatch: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot read shard stream file {path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"shard stream {path} is not a valid stream file: {exc}", file=sys.stderr)
+        return 2
+
+
+def _load_merge_input(path: str) -> "SuiteResult | int":
+    """Load one merge input — artifact or stream, detected by content.
+
+    A stream is whatever is not a single JSON document, or whose single
+    document is a stream header (a run killed before its first record) —
+    the same sniffing :meth:`CostModel.from_file` uses, so any file the
+    suite wrote merges regardless of its extension.
+    """
+    import json
+
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        print(f"cannot read shard artifact file {path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if payload is None or (isinstance(payload, dict) and payload.get("kind") == "header"):
+        return _load_stream_input(path)
+    return _load_artifact(path, "shard artifact")
+
+
 def _cmd_merge(args) -> int:
     suites = []
     for path in args.inputs:
-        suite = _load_artifact(path, "shard artifact")
+        suite = _load_merge_input(path)
         if isinstance(suite, int):
             return suite
         suites.append(suite)
@@ -428,6 +537,14 @@ def _cmd_bench(args) -> int:
     save_bench(artifact, output)
     print(f"bench artifact written to {output} "
           f"({len(artifact['kernels'])} kernels, {artifact['total_s']:.1f} s total)")
+
+    if args.export_cost_model:
+        model = CostModel()
+        model.observe_bench(artifact)
+        model.save(args.export_cost_model)
+        print(f"cost model ({len(model)} observation(s)) written to "
+              f"{args.export_cost_model} — feed it to "
+              f"'repro suite --balance cost --cost-model {args.export_cost_model}'")
 
     if baseline is not None:
         diff = diff_bench(baseline, artifact, threshold=args.threshold)
@@ -526,9 +643,26 @@ def build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument("--shard", default=None, metavar="K/N",
                               help="run only the k-th of N disjoint task slices "
                                    "(merge the artifacts with 'repro merge')")
+    suite_parser.add_argument("--balance", default="roundrobin",
+                              choices=["roundrobin", "cost"],
+                              help="how --shard splits the task list: stable "
+                                   "round-robin slices, or the greedy LPT plan "
+                                   "balanced on estimated per-cell cost")
+    suite_parser.add_argument("--cost-model", default=None, metavar="COSTS.json",
+                              help="per-cell cost table feeding --balance cost and "
+                                   "the longest-first dispatcher; accepts a cost "
+                                   "model, results artifact, bench artifact or "
+                                   "JSONL stream")
     suite_parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                               help="per-task wall-clock limit; overrunning tasks are "
                                    "terminated and recorded with status 'timeout'")
+    suite_parser.add_argument("--retry-timeouts", type=int, default=0, metavar="R",
+                              help="escalation rounds for timed-out cells: re-run "
+                                   "them with the limit grown by --timeout-growth, "
+                                   "appending superseding records to the stream")
+    suite_parser.add_argument("--timeout-growth", type=float, default=2.0, metavar="G",
+                              help="timeout multiplier per escalation round "
+                                   "(default 2.0)")
     suite_parser.add_argument("--output", default=None,
                               help="write the versioned JSON results artifact here")
     suite_parser.add_argument("--stream-output", default=None, metavar="PATH.jsonl",
@@ -548,7 +682,9 @@ def build_parser() -> argparse.ArgumentParser:
         "merge", help="recombine shard artifacts of a distributed suite run"
     )
     merge_parser.add_argument("inputs", nargs="+", metavar="SHARD.json",
-                              help="shard artifacts written by 'repro suite --shard K/N'")
+                              help="shard artifacts written by 'repro suite --shard "
+                                   "K/N', or .jsonl stream files (retried cells "
+                                   "deduped to the final attempt)")
     merge_parser.add_argument("--output", required=True,
                               help="write the merged JSON results artifact here")
     merge_parser.add_argument("--canonical", action="store_true",
@@ -570,6 +706,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="skip the per-cell suite timing section")
     bench_parser.add_argument("--output", default=None,
                               help="artifact path (default: BENCH_<rev>.json)")
+    bench_parser.add_argument("--export-cost-model", default=None, metavar="COSTS.json",
+                              help="also write a per-cell cost model fit from this "
+                                   "run, for 'repro suite --balance cost'")
     bench_parser.add_argument("--against", default=None, metavar="BENCH.json",
                               help="diff this run against a saved artifact; "
                                    "exit 1 on regressions beyond --threshold")

@@ -2,18 +2,24 @@
 
 Covers the edge cases the distributed workflow can hit: overlapping shard
 sets, mismatched specifications and schema versions, empty shards,
-merge-of-one, and shard counts exceeding the task count.
+merge-of-one, shard counts exceeding the task count, and merging JSONL
+streams whose retried cells must dedupe to the final attempt.
 """
+
+import json
 
 import pytest
 
 from repro.batch import (
     SuiteResult,
     build_tasks,
+    dedupe_records,
     merge_results,
     parse_shard,
     run_suite,
     shard_tasks,
+    stream_header,
+    suite_from_stream,
 )
 
 SCALE = 0.02
@@ -159,3 +165,111 @@ class TestMerge:
         merged = merge_results([v1_shard, shards[1]])
         full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
         assert merged.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+
+def _stream_lines(path, header: dict, records: list) -> None:
+    """Write a raw JSONL stream file line by line (no StreamWriter — the
+    regression cases below need full control over what each line says)."""
+    lines = [json.dumps(header, sort_keys=True)]
+    lines += [json.dumps({"kind": "record", **record}, sort_keys=True)
+              for record in records]
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestMergeRetriedStream:
+    """Regression: a stream carrying a timeout record *superseded* by a
+    later attempt of the same cell (the ``--retry-timeouts`` shape) must
+    merge to exactly the final attempt — one record per cell, last wins."""
+
+    def _header(self, **overrides):
+        base = stream_header(["POW9"], ["rcm", "gps"], scale=SCALE,
+                             base_seed=0, shard=None, total_tasks=2)
+        base.update(overrides)
+        return base
+
+    def _record(self, algorithm: str, status: str, **fields) -> dict:
+        record = {"problem": "POW9", "algorithm": algorithm, "status": status,
+                  "seed": 1, "n": 5, "nnz": 9, "metrics": {}, "time_s": 0.5,
+                  "error": None}
+        record.update(fields)
+        return record
+
+    def test_hand_built_retried_stream_dedupes_to_final_attempt(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _stream_lines(path, self._header(), [
+            self._record("rcm", "timeout",
+                         error={"type": "TaskTimeout", "message": "2 s",
+                                "traceback": None},
+                         metrics={}, n=0, nnz=0),
+            self._record("gps", "ok", metrics={"envelope_size": 11}),
+            # the escalated retry of POW9/rcm, appended later in the stream
+            self._record("rcm", "ok", metrics={"envelope_size": 7}, time_s=1.9),
+        ])
+        merged = merge_results([suite_from_stream(path)])
+        assert len(merged.records) == 2
+        final = merged.record_for("POW9", "rcm")
+        assert final.status == "ok"
+        assert final.metrics == {"envelope_size": 7}
+        assert final.time_s == pytest.approx(1.9)
+        assert merged.failures == []
+
+    def test_retry_that_never_succeeded_keeps_last_timeout(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        timeout = {"type": "TaskTimeout", "message": "limit", "traceback": None}
+        _stream_lines(path, self._header(), [
+            self._record("rcm", "timeout", error=timeout, time_s=1.0),
+            self._record("gps", "ok"),
+            self._record("rcm", "timeout", error=timeout, time_s=2.0),
+        ])
+        merged = merge_results([suite_from_stream(path)])
+        final = merged.record_for("POW9", "rcm")
+        assert final.status == "timeout"
+        assert final.time_s == pytest.approx(2.0)  # the *escalated* attempt
+
+    def test_stream_without_retries_round_trips_unchanged(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        records = [self._record("rcm", "ok"), self._record("gps", "ok")]
+        _stream_lines(path, self._header(), records)
+        suite = suite_from_stream(path)
+        assert [(r.problem, r.algorithm) for r in suite.records] == \
+            [("POW9", "rcm"), ("POW9", "gps")]
+
+    def test_incomplete_retried_stream_still_fails_coverage(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _stream_lines(path, self._header(), [
+            self._record("rcm", "timeout"),
+            self._record("rcm", "ok"),
+        ])
+        with pytest.raises(ValueError, match="incomplete shard set"):
+            merge_results([suite_from_stream(path)])
+
+    def test_sharded_stream_keeps_its_shard_marker(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _stream_lines(path, self._header(shard=[1, 2], total_tasks=1),
+                      [self._record("rcm", "ok")])
+        assert suite_from_stream(path).shard == (1, 2)
+
+    def test_unsupported_stream_schema_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _stream_lines(path, self._header(schema_version=99), [])
+        with pytest.raises(ValueError, match="schema version"):
+            suite_from_stream(path)
+
+
+class TestDedupeRecords:
+    def test_empty(self):
+        assert dedupe_records([]) == []
+
+    def test_last_attempt_wins_order_preserved(self):
+        from repro.batch import TaskRecord
+
+        records = [
+            TaskRecord(problem="A", algorithm="x", status="timeout"),
+            TaskRecord(problem="B", algorithm="x", status="ok"),
+            TaskRecord(problem="A", algorithm="x", status="timeout", time_s=2.0),
+            TaskRecord(problem="A", algorithm="x", status="ok", time_s=4.0),
+        ]
+        deduped = dedupe_records(records)
+        assert [(r.problem, r.status) for r in deduped] == \
+            [("A", "ok"), ("B", "ok")]
+        assert deduped[0].time_s == pytest.approx(4.0)

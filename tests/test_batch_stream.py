@@ -217,3 +217,114 @@ class TestResume:
         assert len(completed) == 3
         resumed = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE, completed=completed)
         assert resumed.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+
+class TestRetryEscalation:
+    """Timeout-retry escalation (run_suite retry_timeouts / timeout_growth)."""
+
+    @staticmethod
+    def _sleepy_then_succeed(monkeypatch, sleep_s: float):
+        monkeypatch.setitem(
+            ORDERING_ALGORITHMS, "sleepy",
+            lambda p: time.sleep(sleep_s) or ORDERING_ALGORITHMS["rcm"](p),
+        )
+
+    def test_escalated_retry_lands_final_ok_record(self, monkeypatch):
+        self._sleepy_then_succeed(monkeypatch, 1.0)
+        attempts = []
+        suite = run_suite(
+            ["POW9"], ("rcm", "sleepy"), scale=SCALE,
+            timeout=0.3, retry_timeouts=2, timeout_growth=8.0,
+            on_record=lambda record, done, total: attempts.append(
+                (record.algorithm, record.status)),
+        )
+        # exactly one final record per cell, the sleepy one now ok
+        assert [(r.algorithm, r.status) for r in suite.records] == \
+            [("rcm", "ok"), ("sleepy", "ok")]
+        assert suite.timeouts == []
+        # ...but on_record saw the superseded timeout attempt too
+        assert ("sleepy", "timeout") in attempts
+        assert attempts[-1] == ("sleepy", "ok")
+
+    def test_exhausted_retries_keep_last_escalated_timeout(self, monkeypatch):
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy",
+                            lambda p: time.sleep(60))
+        suite = run_suite(["POW9"], ("sleepy",), scale=SCALE,
+                          timeout=0.2, retry_timeouts=2, timeout_growth=2.0)
+        record = suite.records[0]
+        assert record.status == "timeout"
+        # time_s records the limit of the *last* attempt: 0.2 * 2 * 2
+        assert record.time_s == pytest.approx(0.8)
+
+    def test_retry_result_matches_unretried_clean_run(self, monkeypatch):
+        """A cell that times out once and then succeeds produces the same
+        canonical artifact as a run that never timed out at all."""
+        self._sleepy_then_succeed(monkeypatch, 1.0)
+        retried = run_suite(["POW9"], ("rcm", "sleepy"), scale=SCALE,
+                            timeout=0.3, retry_timeouts=1, timeout_growth=10.0)
+        clean = run_suite(["POW9"], ("rcm", "sleepy"), scale=SCALE,
+                          timeout=30.0)
+        assert retried.to_json(include_timing=False) == \
+            clean.to_json(include_timing=False)
+
+    def test_stream_resume_after_escalation_dedupes(self, monkeypatch, tmp_path):
+        """The stream of an escalated run holds superseding records; reading
+        it back and deduping yields one final record per cell."""
+        from repro.batch import dedupe_records
+
+        self._sleepy_then_succeed(monkeypatch, 1.0)
+        path = tmp_path / "run.jsonl"
+        header = stream_header(["POW9"], ["rcm", "sleepy"], scale=SCALE,
+                               base_seed=0, shard=None, total_tasks=2)
+        with StreamWriter(path, header) as writer:
+            run_suite(["POW9"], ("rcm", "sleepy"), scale=SCALE,
+                      timeout=0.3, retry_timeouts=1, timeout_growth=10.0,
+                      on_record=lambda record, done, total:
+                          writer.write_record(record))
+        _header_read, raw = read_stream(path)
+        assert len(raw) == 3  # rcm ok + sleepy timeout + sleepy ok
+        deduped = dedupe_records(raw)
+        assert [(r.algorithm, r.status) for r in deduped] == \
+            [("rcm", "ok"), ("sleepy", "ok")]
+
+    def test_no_retries_without_timeouts(self):
+        executed = []
+        suite = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE,
+                          timeout=120.0, retry_timeouts=3,
+                          on_record=lambda r, d, t: executed.append(r))
+        assert len(executed) == 4  # nothing re-ran
+        assert suite.failures == []
+
+
+class TestBalancePinnedHeader:
+    def test_old_header_without_balance_keys_still_validates(self):
+        legacy = _header()
+        del legacy["balance"], legacy["cost_fingerprint"]
+        validate_stream_header(legacy, _header())  # no raise
+
+    def test_balance_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different shard plan"):
+            validate_stream_header(_header(balance="cost"), _header())
+
+    def test_cost_fingerprint_mismatch_rejected(self):
+        mine = _header(balance="cost", cost_fingerprint="aaaa")
+        theirs = _header(balance="cost", cost_fingerprint="bbbb")
+        with pytest.raises(ValueError, match="cost model"):
+            validate_stream_header(theirs, mine)
+        validate_stream_header(mine, dict(mine))  # same plan: no raise
+
+    def test_reused_timeout_record_is_never_retried(self):
+        """run_suite's documented contract: completed records are reused
+        verbatim whatever their status — escalation must not re-run them."""
+        from repro.batch import TaskRecord
+
+        stale = TaskRecord(problem="POW9", algorithm="rcm", status="timeout",
+                           time_s=1.0,
+                           error={"type": "TaskTimeout", "message": "limit",
+                                  "traceback": None})
+        executed = []
+        suite = run_suite(["POW9"], ("rcm",), scale=SCALE,
+                          completed=[stale], timeout=30.0, retry_timeouts=3,
+                          on_record=lambda r, d, t: executed.append(r))
+        assert suite.records == [stale]          # verbatim, still a timeout
+        assert executed == [stale]               # replayed once, never re-run

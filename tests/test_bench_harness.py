@@ -189,3 +189,30 @@ def test_cli_bench_bad_baseline_exit_2(tmp_path):
     invalid.write_text("{}")
     assert main(["bench", "--quick", "--filter", "graph/mis",
                  "--against", str(invalid)]) == 2
+
+
+def test_suite_cells_carry_n_nnz_and_export_cost_model(tmp_path, capsys):
+    """Bench suite cells record n/nnz so --export-cost-model can fit
+    per-algorithm cost rates; the exported model loads as a CostModel."""
+    from repro.batch import CostModel
+
+    out = tmp_path / "BENCH_x.json"
+    costs = tmp_path / "costs.json"
+    code = main(["bench", "--quick", "--repeats", "1", "--no-suite",
+                 "--filter", "orderings/rcm", "--output", str(out),
+                 "--export-cost-model", str(costs)])
+    assert code == 0
+    assert "cost model" in capsys.readouterr().out
+    artifact = json.loads(out.read_text())
+    model = CostModel.from_file(costs)
+    assert len(model) == len(artifact["kernels"]) > 0
+    # artifacts with a suite section expose n/nnz per cell
+    from repro.bench import run_bench
+
+    quick = run_bench(quick=True, repeats=1, include_suite=True)
+    cells = quick["suite"]["cells"]
+    assert cells and all(cell["n"] > 0 and cell["nnz"] > 0 for cell in cells
+                         if cell["status"] == "ok")
+    direct = CostModel()
+    direct.observe_bench(quick)
+    assert len(direct) >= len(cells)

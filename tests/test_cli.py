@@ -368,3 +368,214 @@ class TestProblemsCommand:
         assert code == 0
         output = capsys.readouterr().out
         assert "BARTH4" in output and "BCSSTK29" in output and "POW9" in output
+
+
+class TestCostBalanceCli:
+    ARGS = ["suite", "POW9", "CAN1072", "--algorithms", "rcm,gps", "--scale", "0.02"]
+
+    def test_cost_balanced_shards_merge_byte_identically(self, tmp_path, capsys):
+        from repro.batch import SuiteResult
+
+        full_path = tmp_path / "full.json"
+        assert main(self.ARGS + ["--output", str(full_path)]) == 0
+        paths = []
+        for k in (1, 2):
+            path = tmp_path / f"shard{k}.json"
+            code = main(self.ARGS + ["--shard", f"{k}/2", "--balance", "cost",
+                                     "--cost-model", str(full_path),
+                                     "--output", str(path)])
+            assert code == 0
+            err = capsys.readouterr().err
+            assert "cost balance" in err and "estimated makespan" in err
+            paths.append(str(path))
+        merged_path = tmp_path / "merged.json"
+        assert main(["merge", *paths, "--output", str(merged_path)]) == 0
+        merged = SuiteResult.load(merged_path)
+        full = SuiteResult.load(full_path)
+        assert merged.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+    def test_balance_cost_without_model_uses_fallback(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--shard", "1/2", "--balance", "cost",
+                                 "--output", str(tmp_path / "s1.json")])
+        assert code == 0
+        assert "0 observation(s)" in capsys.readouterr().err
+
+    def test_unreadable_cost_model_errors(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--cost-model", str(tmp_path / "nosuch.json")])
+        assert code == 2
+        assert "cannot read cost-model file" in capsys.readouterr().err
+
+    def test_invalid_cost_model_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json\nnot a stream\n")
+        code = main(self.ARGS + ["--cost-model", str(bad)])
+        assert code == 2
+        assert "cost model" in capsys.readouterr().err
+
+    def test_cost_model_alone_orders_dispatch_without_changing_results(self, tmp_path):
+        from repro.batch import SuiteResult
+
+        full_path = tmp_path / "full.json"
+        assert main(self.ARGS + ["--output", str(full_path)]) == 0
+        dispatched_path = tmp_path / "dispatched.json"
+        assert main(self.ARGS + ["--cost-model", str(full_path),
+                                 "--output", str(dispatched_path)]) == 0
+        full = SuiteResult.load(full_path)
+        dispatched = SuiteResult.load(dispatched_path)
+        assert dispatched.to_json(include_timing=False) == full.to_json(include_timing=False)
+
+
+class TestRetryTimeoutsCli:
+    def test_retry_without_timeout_errors(self, capsys):
+        code = main(["suite", "POW9", "--algorithms", "rcm", "--scale", "0.02",
+                     "--retry-timeouts", "1"])
+        assert code == 2
+        assert "--retry-timeouts needs --timeout" in capsys.readouterr().err
+
+    def test_forced_timeout_retried_lands_single_ok_record(self, tmp_path,
+                                                           monkeypatch, capsys):
+        """The acceptance criterion end to end: a cell that times out on the
+        first attempt and is retried with --retry-timeouts 1 lands exactly
+        one final 'ok' record in the merged output — both in the JSON
+        artifact and through a merge of the superseded JSONL stream."""
+        import json
+        import time
+
+        from repro.batch import SuiteResult
+        from repro.orderings.registry import ORDERING_ALGORITHMS
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy",
+                            lambda p: time.sleep(1.0) or ORDERING_ALGORITHMS["rcm"](p))
+        stream = tmp_path / "run.jsonl"
+        out = tmp_path / "out.json"
+        code = main(["suite", "POW9", "--algorithms", "rcm,sleepy",
+                     "--scale", "0.02", "--timeout", "0.3",
+                     "--retry-timeouts", "1", "--timeout-growth", "10",
+                     "--stream-output", str(stream), "--output", str(out),
+                     "--no-progress"])
+        assert code == 0  # the retry rescued the run: no failures left
+        assert "2 ok, 0 failed" in capsys.readouterr().out
+
+        # the artifact holds exactly one record for the retried cell, ok
+        suite = SuiteResult.load(out)
+        sleepy = [r for r in suite.records if r.algorithm == "sleepy"]
+        assert len(sleepy) == 1 and sleepy[0].status == "ok"
+
+        # the stream kept both attempts (supersede semantics) ...
+        lines = [json.loads(line) for line in stream.read_text().splitlines()]
+        sleepy_lines = [l for l in lines if l.get("algorithm") == "sleepy"]
+        assert [l["status"] for l in sleepy_lines] == ["timeout", "ok"]
+
+        # ... and merging the stream dedupes to the final ok attempt
+        merged_path = tmp_path / "merged.json"
+        assert main(["merge", str(stream), "--output", str(merged_path)]) == 0
+        merged = SuiteResult.load(merged_path)
+        final = [r for r in merged.records if r.algorithm == "sleepy"]
+        assert len(final) == 1 and final[0].status == "ok"
+
+    def test_resume_of_escalated_stream_reuses_final_attempts(self, tmp_path,
+                                                              monkeypatch, capsys):
+        """--resume on a stream with superseded records dedupes before
+        deciding what to re-run: the rescued cell is reused, not retried."""
+        import time
+
+        from repro.orderings.registry import ORDERING_ALGORITHMS
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy",
+                            lambda p: time.sleep(1.0) or ORDERING_ALGORITHMS["rcm"](p))
+        stream = tmp_path / "run.jsonl"
+        args = ["suite", "POW9", "--algorithms", "rcm,sleepy", "--scale", "0.02",
+                "--timeout", "0.3", "--retry-timeouts", "1",
+                "--timeout-growth", "10", "--stream-output", str(stream),
+                "--no-progress"]
+        assert main(args) == 0
+        capsys.readouterr()
+        code = main(args + ["--resume", str(stream)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2 reused from" in captured.out
+        assert "retrying" not in captured.err
+
+
+class TestCostBalancedResumeGuard:
+    ARGS = ["suite", "POW9", "CAN1072", "--algorithms", "rcm,gps",
+            "--scale", "0.02", "--no-progress"]
+
+    def test_resume_with_different_cost_model_rejected(self, tmp_path, capsys):
+        full = tmp_path / "full.json"
+        assert main(self.ARGS + ["--output", str(full)]) == 0
+        stream = tmp_path / "s1.jsonl"
+        balanced = self.ARGS + ["--shard", "1/2", "--balance", "cost",
+                                "--cost-model", str(full),
+                                "--stream-output", str(stream)]
+        assert main(balanced) == 0
+        capsys.readouterr()
+
+        # same command, same model: resumable
+        assert main(balanced + ["--resume", str(stream)]) == 0
+        capsys.readouterr()
+
+        # a *different* cost model plans a (potentially) different slice
+        import json
+
+        payload = json.loads(full.read_text())
+        payload["records"][0]["time_s"] = 99.0
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(payload))
+        code = main(self.ARGS + ["--shard", "1/2", "--balance", "cost",
+                                 "--cost-model", str(other),
+                                 "--resume", str(stream)])
+        assert code == 2
+        assert "different shard plan" in capsys.readouterr().err
+
+    def test_resume_without_balance_flag_rejected(self, tmp_path, capsys):
+        full = tmp_path / "full.json"
+        assert main(self.ARGS + ["--output", str(full)]) == 0
+        stream = tmp_path / "s1.jsonl"
+        assert main(self.ARGS + ["--shard", "1/2", "--balance", "cost",
+                                 "--cost-model", str(full),
+                                 "--stream-output", str(stream)]) == 0
+        capsys.readouterr()
+        code = main(self.ARGS + ["--shard", "1/2", "--resume", str(stream)])
+        assert code == 2
+        assert "different shard plan" in capsys.readouterr().err
+
+
+class TestResumeGuardScope:
+    ARGS = ["suite", "POW9", "CAN1072", "--algorithms", "rcm,gps",
+            "--scale", "0.02", "--no-progress"]
+
+    def test_unsharded_stream_resumable_under_any_dispatch_flags(self, tmp_path, capsys):
+        """Without --shard there is no slice selection, so --balance cost /
+        --cost-model on the resume only reorder dispatch and must not be
+        rejected as a different plan."""
+        full = tmp_path / "full.json"
+        assert main(self.ARGS + ["--output", str(full)]) == 0
+        stream = tmp_path / "run.jsonl"
+        assert main(self.ARGS + ["--stream-output", str(stream)]) == 0
+        capsys.readouterr()
+        code = main(self.ARGS + ["--balance", "cost", "--cost-model", str(full),
+                                 "--resume", str(stream)])
+        assert code == 0
+        assert "4 reused from" in capsys.readouterr().out
+
+    def test_merge_detects_stream_by_content_not_extension(self, tmp_path):
+        from repro.batch import SuiteResult
+
+        full = tmp_path / "full.json"
+        stream = tmp_path / "run.log"  # not .jsonl
+        assert main(self.ARGS + ["--output", str(full),
+                                 "--stream-output", str(stream)]) == 0
+        merged = tmp_path / "merged.json"
+        assert main(["merge", str(stream), "--output", str(merged)]) == 0
+        assert SuiteResult.load(merged).to_json(include_timing=False) == \
+            SuiteResult.load(full).to_json(include_timing=False)
+
+    def test_merge_header_only_stream_reports_incomplete(self, tmp_path, capsys):
+        stream = tmp_path / "dead.jsonl"
+        assert main(self.ARGS + ["--stream-output", str(stream)]) == 0
+        stream.write_text(stream.read_text().splitlines()[0] + "\n")
+        capsys.readouterr()
+        code = main(["merge", str(stream), "--output", str(tmp_path / "m.json")])
+        assert code == 2
+        assert "incomplete shard set" in capsys.readouterr().err
