@@ -50,7 +50,13 @@ from repro.batch.results import (
     dedupe_records,
     merge_results,
 )
-from repro.batch.sched import CostModel, ShardPlan, order_longest_first, plan_shards
+from repro.batch.sched import (
+    CostModel,
+    ShardPlan,
+    auto_timeout,
+    order_longest_first,
+    plan_shards,
+)
 from repro.batch.stream import (
     StreamWriter,
     read_stream,
@@ -70,6 +76,7 @@ __all__ = [
     "StreamWriter",
     "SuiteResult",
     "TaskRecord",
+    "auto_timeout",
     "build_tasks",
     "clear_problem_cache",
     "dedupe_records",

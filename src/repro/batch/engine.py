@@ -37,6 +37,7 @@ The equivalent CLI invocation::
 from __future__ import annotations
 
 import inspect
+import math
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -203,18 +204,20 @@ def _timeout_worker(task: BatchTask, connection) -> None:
         connection.close()
 
 
-def _iter_with_timeout(tasks, n_jobs: int, timeout: float):
+def _iter_with_timeout(tasks, n_jobs: int, timeout_for):
     """Yield ``(task, record)`` as tasks finish, terminating overrunners.
 
     Each task gets its own worker process (started with the platform-default
     multiprocessing context) so an overrunning task can be killed without
     poisoning a shared pool: on deadline the process is terminated and a
     ``"timeout"`` record yielded, while up to ``n_jobs`` other workers keep
-    running undisturbed.
+    running undisturbed.  ``timeout_for(task)`` supplies the per-task limit;
+    ``None`` means that task has no deadline (the ``--timeout auto`` path for
+    cells the cost model has never observed).
     """
     context = multiprocessing.get_context()
     pending = list(tasks)[::-1]
-    running: dict = {}  # receive-end connection -> (task, process, deadline)
+    running: dict = {}  # receive-end connection -> (task, process, deadline, limit)
     try:
         while pending or running:
             while pending and len(running) < n_jobs:
@@ -225,14 +228,22 @@ def _iter_with_timeout(tasks, n_jobs: int, timeout: float):
                 )
                 process.start()
                 sender.close()
-                running[receiver] = (task, process, time.monotonic() + timeout)
+                limit = timeout_for(task)
+                if limit is not None and limit <= 0:
+                    raise ValueError(
+                        f"timeout policy returned {limit!r} for "
+                        f"{task.problem}/{task.algorithm}; per-task limits "
+                        f"must be positive (or None for no limit)"
+                    )
+                deadline = math.inf if limit is None else time.monotonic() + limit
+                running[receiver] = (task, process, deadline, limit)
 
-            nearest = min(deadline for (_, _, deadline) in running.values())
-            wait_s = max(0.0, nearest - time.monotonic())
+            nearest = min(deadline for (_, _, deadline, _) in running.values())
+            wait_s = None if math.isinf(nearest) else max(0.0, nearest - time.monotonic())
             ready = multiprocessing.connection.wait(list(running), timeout=wait_s)
             now = time.monotonic()
             for receiver in list(running):
-                task, process, deadline = running[receiver]
+                task, process, deadline, limit = running[receiver]
                 if receiver in ready:
                     try:
                         record = receiver.recv()
@@ -240,7 +251,7 @@ def _iter_with_timeout(tasks, n_jobs: int, timeout: float):
                         record = _crash_record(task, f"{type(exc).__name__}")
                 elif now >= deadline:
                     process.terminate()
-                    record = _timeout_record(task, timeout)
+                    record = _timeout_record(task, limit)
                 else:
                     continue
                 del running[receiver]
@@ -248,7 +259,7 @@ def _iter_with_timeout(tasks, n_jobs: int, timeout: float):
                 process.join()
                 yield task, record
     finally:
-        for task, process, _deadline in running.values():
+        for task, process, _deadline, _limit in running.values():
             process.terminate()
             process.join()
 
@@ -277,17 +288,27 @@ def iter_suite(tasks, *, n_jobs: int = 1, timeout: float | None = None):
     n_jobs:
         Concurrent worker processes.
     timeout:
-        Per-task wall-clock limit in seconds.  A task that overruns is
-        terminated and reported as a ``"timeout"`` record; the remaining
-        tasks are unaffected.  Requires worker processes even for
-        ``n_jobs=1`` (an in-process task could not be interrupted), so
-        plain serial runs leave it ``None``.
+        Per-task wall-clock limit in seconds — a single float for every
+        task, or a callable ``task -> float | None`` for per-cell limits
+        (``None`` exempts that task; the ``--timeout auto`` cost-model
+        path).  A task that overruns is terminated and reported as a
+        ``"timeout"`` record; the remaining tasks are unaffected.  Requires
+        worker processes even for ``n_jobs=1`` (an in-process task could
+        not be interrupted), so plain serial runs leave it ``None``.
     """
     tasks = list(tasks)
     if timeout is not None:
-        if timeout <= 0:
-            raise ValueError(f"timeout must be positive, got {timeout}")
-        yield from _iter_with_timeout(tasks, max(int(n_jobs), 1), float(timeout))
+        if callable(timeout):
+            timeout_fn = timeout
+        else:
+            if timeout <= 0:
+                raise ValueError(f"timeout must be positive, got {timeout}")
+            limit = float(timeout)
+
+            def timeout_fn(_task, _limit=limit):
+                return _limit
+
+        yield from _iter_with_timeout(tasks, max(int(n_jobs), 1), timeout_fn)
     elif n_jobs == 1 or len(tasks) <= 1:
         for task in tasks:
             yield task, execute_task(task)
@@ -354,8 +375,11 @@ def run_suite(
         the pure fallback estimator.  Never affects results — only which
         machine/worker computes them when.
     timeout:
-        Per-task wall-clock limit in seconds (see :func:`iter_suite`);
-        overrunning tasks become ``"timeout"`` records.
+        Per-task wall-clock limit in seconds — a float, or a callable
+        ``task -> float | None`` for cost-model-derived per-cell limits
+        (see :func:`iter_suite` and
+        :func:`repro.batch.sched.auto_timeout`); overrunning tasks become
+        ``"timeout"`` records.
     retry_timeouts:
         Number of escalation rounds for timed-out cells.  After the suite
         drains, cells with a ``"timeout"`` record are re-enqueued with the
@@ -465,14 +489,20 @@ def run_suite(
         # limit, replacing their records in place.  Every new attempt still
         # flows through on_record, so a JSONL sink receives it as a
         # superseding record (last attempt wins on read-back).
-        attempt_timeout = timeout
+        growth = 1.0
         for _round in range(retry_timeouts):
             slots = {pair[0].index: slot for slot, pair in enumerate(pairs)
                      if pair[1].status == "timeout"
                      and pair[0].index not in reused_indices}
-            if not slots or attempt_timeout is None:
+            if not slots or timeout is None:
                 break
-            attempt_timeout *= timeout_growth
+            growth *= timeout_growth
+            if callable(timeout):
+                def attempt_timeout(task, _base=timeout, _growth=growth):
+                    base_limit = _base(task)
+                    return None if base_limit is None else base_limit * _growth
+            else:
+                attempt_timeout = float(timeout) * growth
             retry_tasks = [pairs[slot][0] for slot in slots.values()]
             if cost_model is not None:
                 retry_tasks = order_longest_first(retry_tasks, cost_model)

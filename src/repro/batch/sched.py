@@ -58,9 +58,12 @@ from repro.batch.results import SuiteResult
 from repro.batch.tasks import BatchTask, shard_tasks
 
 __all__ = [
+    "AUTO_TIMEOUT_FLOOR_S",
+    "AUTO_TIMEOUT_SAFETY",
     "COST_MODEL_SCHEMA_VERSION",
     "CostModel",
     "ShardPlan",
+    "auto_timeout",
     "order_longest_first",
     "plan_shards",
 ]
@@ -77,6 +80,11 @@ _DEFAULT_RATE_S = 5e-8
 
 #: Floor on every estimate so zero-cost tables still order deterministically.
 _MIN_ESTIMATE_S = 1e-9
+
+#: ``--timeout auto``: a cell's limit is ``estimate * safety``, floored at
+#: one second so micro-cells are not killed by scheduler jitter.
+AUTO_TIMEOUT_SAFETY = 10.0
+AUTO_TIMEOUT_FLOOR_S = 1.0
 
 
 def _scale_key(scale) -> float | None:
@@ -175,10 +183,13 @@ class CostModel:
         suite = artifact.get("suite") or {}
         scale = suite.get("scale")
         for cell in suite.get("cells", []):
-            if cell.get("status") != "ok" or float(cell.get("time_s", 0.0)) <= 0:
+            # Prefer the best-of-k cell timing recorded by newer artifacts;
+            # single-run time_s is the read-compat fallback.
+            time_s = float(cell.get("best_s") or cell.get("time_s", 0.0) or 0.0)
+            if cell.get("status") != "ok" or time_s <= 0:
                 continue
             self.observe(cell["problem"], cell["algorithm"], scale,
-                         cell["time_s"], n=cell.get("n", 0), nnz=cell.get("nnz", 0))
+                         time_s, n=cell.get("n", 0) or 0, nnz=cell.get("nnz", 0) or 0)
         for kernel in artifact.get("kernels", []):
             name = str(kernel.get("name", ""))
             parts = name.split("/")
@@ -221,6 +232,16 @@ class CostModel:
     def estimate_task(self, task: BatchTask) -> float:
         """:meth:`estimate` keyed by a :class:`~repro.batch.tasks.BatchTask`."""
         return self.estimate(task.problem, task.algorithm, task.scale)
+
+    def observed_cell(self, problem: str, algorithm: str, scale=None) -> bool:
+        """Whether ``(problem, algorithm, scale)`` was *directly* observed.
+
+        Distinguishes a real measurement from the ``n * nnz`` fallback
+        estimate — the ``--timeout auto`` policy only trusts the former
+        (an extrapolated rate is no basis for killing a task).
+        """
+        key = (str(problem).strip().upper(), algorithm, _scale_key(scale))
+        return bool(self._direct.get(key))
 
     def _rate(self, algorithm: str) -> float:
         """Median seconds per unit of ``n * nnz`` for one algorithm."""
@@ -377,6 +398,36 @@ class ShardPlan:
     makespan: float
     round_robin_makespan: float
     strategy: str
+
+
+def auto_timeout(cost_model: CostModel):
+    """Per-task timeout policy derived from a cost model (``--timeout auto``).
+
+    Returns a callable ``task -> float | None`` for
+    :func:`repro.batch.engine.run_suite`'s ``timeout`` parameter: cells the
+    model has *directly* observed get ``max(estimate * AUTO_TIMEOUT_SAFETY,
+    AUTO_TIMEOUT_FLOOR_S)`` seconds; unseen cells get ``None`` (no limit —
+    an ``n * nnz`` extrapolation is no basis for killing a task).
+
+    >>> from repro.batch.tasks import BatchTask
+    >>> model = CostModel()
+    >>> model.observe("POW9", "rcm", 0.02, time_s=0.004)
+    >>> policy = auto_timeout(model)
+    >>> policy(BatchTask(problem="POW9", algorithm="rcm", scale=0.02))
+    1.0
+    >>> policy(BatchTask(problem="POW9", algorithm="spectral", scale=0.02)) is None
+    True
+    """
+
+    def timeout_for(task) -> float | None:
+        if not cost_model.observed_cell(task.problem, task.algorithm, task.scale):
+            return None
+        return max(
+            AUTO_TIMEOUT_FLOOR_S,
+            cost_model.estimate_task(task) * AUTO_TIMEOUT_SAFETY,
+        )
+
+    return timeout_for
 
 
 def order_longest_first(tasks, cost_model: CostModel) -> list:

@@ -111,7 +111,15 @@ def default_artifact_path(rev: str | None = None) -> Path:
 # --------------------------------------------------------------------- #
 # the pinned micro-suite
 # --------------------------------------------------------------------- #
-def _ordering_bench(problem: str, scale: float, algorithm: str) -> KernelBench:
+def _fiedler_policy_options(fiedler_policy: str) -> dict:
+    """Algorithm options implied by ``--fiedler-policy`` for spectral solvers."""
+    if fiedler_policy == "fast":
+        return {"tol_policy": "ordering"}
+    return {}
+
+
+def _ordering_bench(problem: str, scale: float, algorithm: str,
+                    fiedler_policy: str = "default") -> KernelBench:
     def setup():
         from repro.batch import BatchTask, derive_seed, task_options
         from repro.collections.registry import load_problem
@@ -122,6 +130,8 @@ def _ordering_bench(problem: str, scale: float, algorithm: str) -> KernelBench:
         task = BatchTask(problem=problem, algorithm=algorithm, scale=scale,
                          seed=derive_seed(0, problem, algorithm))
         options = task_options(func, task)
+        if algorithm in ("spectral", "hybrid"):
+            options.update(_fiedler_policy_options(fiedler_policy))
         return lambda: func(pattern, **options)
 
     return KernelBench(
@@ -152,7 +162,8 @@ def _graph_bench(problem: str, scale: float, kernel: str) -> KernelBench:
     )
 
 
-def _eigen_bench(problem: str, scale: float, kernel: str) -> KernelBench:
+def _eigen_bench(problem: str, scale: float, kernel: str,
+                 fiedler_policy: str = "default") -> KernelBench:
     def setup():
         from repro.collections.registry import load_problem
         from repro.eigen.lanczos import lanczos_smallest_nontrivial
@@ -160,10 +171,11 @@ def _eigen_bench(problem: str, scale: float, kernel: str) -> KernelBench:
         from repro.graph.laplacian import laplacian_matrix
 
         pattern, _spec = load_problem(problem, scale=scale)
+        options = _fiedler_policy_options(fiedler_policy)
         if kernel == "lanczos":
             laplacian = laplacian_matrix(pattern)
-            return lambda: lanczos_smallest_nontrivial(laplacian, rng=0)
-        return lambda: multilevel_fiedler(pattern, rng=0)
+            return lambda: lanczos_smallest_nontrivial(laplacian, rng=0, **options)
+        return lambda: multilevel_fiedler(pattern, rng=0, **options)
 
     return KernelBench(
         name=f"eigen/{kernel}/{problem}@{scale:g}",
@@ -171,13 +183,17 @@ def _eigen_bench(problem: str, scale: float, kernel: str) -> KernelBench:
     )
 
 
-def pinned_micro_suite(quick: bool = False) -> list[KernelBench]:
+def pinned_micro_suite(quick: bool = False,
+                       fiedler_policy: str = "default") -> list[KernelBench]:
     """The fixed benchmark list compared across revisions.
 
     Names are stable identifiers: :func:`diff_bench` joins artifacts on them,
     so renaming or re-scaling an entry breaks the trajectory for that kernel
     (the diff reports it as added/removed rather than silently comparing
-    different work).
+    different work).  ``fiedler_policy="fast"`` runs the spectral/eigen
+    kernels under ``tol_policy="ordering"`` — the artifact's ``config``
+    records the policy, so a fast-path artifact is never silently diffed as
+    if it were a default-path run.
     """
     if quick:
         ordering_cases = [("CAN1072", 0.1), ("DWT2680", 0.05)]
@@ -189,7 +205,7 @@ def pinned_micro_suite(quick: bool = False) -> list[KernelBench]:
         graph_problem, graph_scale = "PWT", 0.1
 
     benches = [
-        _ordering_bench(problem, scale, algorithm)
+        _ordering_bench(problem, scale, algorithm, fiedler_policy)
         for problem, scale in ordering_cases
         for algorithm in ordering_algorithms
     ]
@@ -198,7 +214,7 @@ def pinned_micro_suite(quick: bool = False) -> list[KernelBench]:
         for kernel in ("bfs_levels", "pseudo_diameter", "mis", "coarsen")
     ]
     benches += [
-        _eigen_bench(graph_problem, graph_scale, kernel)
+        _eigen_bench(graph_problem, graph_scale, kernel, fiedler_policy)
         for kernel in ("lanczos", "multilevel_fiedler")
     ]
     return benches
@@ -223,6 +239,7 @@ def run_bench(
     include_suite: bool = True,
     on_result: Callable[[dict], None] | None = None,
     rev: str | None = None,
+    fiedler_policy: str = "default",
 ) -> dict:
     """Execute the pinned micro-suite and return the artifact dictionary.
 
@@ -232,7 +249,9 @@ def run_bench(
         Smaller problem scales and fewer repeats — the CI smoke variant.
     repeats:
         Timed runs per kernel (default: 2 quick, 3 full; best-of-k is the
-        compared statistic, so more repeats mean less noise).
+        compared statistic, so more repeats mean less noise).  The suite
+        section runs the same number of times, so its cells carry best-of-k
+        ``best_s`` too.
     name_filter:
         Case-insensitive substring; only matching kernel names run.
     include_suite:
@@ -241,12 +260,20 @@ def run_bench(
         Callback invoked with each finished kernel entry (progress hook).
     rev:
         Source revision recorded in the artifact (default: git describe).
+    fiedler_policy:
+        ``"default"`` or ``"fast"`` — run the spectral/eigen kernels (and
+        the suite's spectral cells) under ``tol_policy="ordering"``.
+        Recorded in the artifact ``config``.
     """
+    if fiedler_policy not in ("default", "fast"):
+        raise ValueError(
+            f"fiedler_policy must be 'default' or 'fast', got {fiedler_policy!r}"
+        )
     if repeats is None:
         repeats = 2 if quick else 3
     start = time.perf_counter()
     kernels = []
-    for bench in pinned_micro_suite(quick):
+    for bench in pinned_micro_suite(quick, fiedler_policy):
         if name_filter and name_filter.lower() not in bench.name.lower():
             continue
         func = bench.setup()
@@ -268,17 +295,39 @@ def run_bench(
         from repro.batch import run_suite
 
         spec = _suite_spec(quick)
-        suite = run_suite(spec["problems"], spec["algorithms"],
-                          scale=spec["scale"], n_jobs=1, keep_orderings=False)
+        policy_options = _fiedler_policy_options(fiedler_policy)
+        algorithm_options = (
+            {"spectral": dict(policy_options), "hybrid": dict(policy_options)}
+            if policy_options else None
+        )
+        # Best-of-k per cell: the suite runs `repeats` times and each cell
+        # records the minimum of its per-run engine timings — the same
+        # statistic the kernel rows use — so bench-sourced cost-model
+        # observations and suite-cell diffs stop depending on one noisy run.
+        best_cells: dict[tuple, float] = {}
+        for _run in range(repeats):
+            suite = run_suite(spec["problems"], spec["algorithms"],
+                              scale=spec["scale"], n_jobs=1,
+                              algorithm_options=algorithm_options,
+                              keep_orderings=False)
+            for record in suite.records:
+                if record.status != "ok":
+                    continue
+                key = (record.problem, record.algorithm)
+                previous = best_cells.get(key)
+                if previous is None or record.time_s < previous:
+                    best_cells[key] = record.time_s
         suite_section = {
             **spec,
             "wall_s": suite.wall_time_s,
+            "repeats": repeats,
             "cells": [
                 {
                     "problem": record.problem,
                     "algorithm": record.algorithm,
                     "status": record.status,
                     "time_s": record.time_s,
+                    "best_s": best_cells.get((record.problem, record.algorithm)),
                     # n/nnz let the scheduler's CostModel fit per-algorithm
                     # cost rates from bench artifacts (additive; older
                     # artifacts without them still load and diff fine).
@@ -291,7 +340,7 @@ def run_bench(
         if on_result is not None:
             on_result({"name": "suite", "group": "suite",
                        "best_s": suite.wall_time_s, "mean_s": suite.wall_time_s,
-                       "repeats": 1})
+                       "repeats": repeats})
 
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -300,7 +349,8 @@ def run_bench(
         "created_s": time.time(),
         "machine": machine_info(),
         "config": {"quick": quick, "repeats": repeats,
-                   "filter": name_filter, "include_suite": include_suite},
+                   "filter": name_filter, "include_suite": include_suite,
+                   "fiedler_policy": fiedler_policy},
         "kernels": kernels,
         "suite": suite_section,
         "total_s": time.perf_counter() - start,
@@ -346,8 +396,11 @@ def _cell_rows(artifact: dict) -> dict[str, float]:
     suite = artifact.get("suite")
     if not suite:
         return {}
+    # Prefer the best-of-k statistic; artifacts recorded before cells carried
+    # ``best_s`` fall back to their single-run ``time_s``.
     return {
-        f"suite/{cell['problem']}/{cell['algorithm']}": float(cell["time_s"])
+        f"suite/{cell['problem']}/{cell['algorithm']}":
+            float(cell.get("best_s") or cell["time_s"])
         for cell in suite["cells"]
         if cell.get("status") == "ok"
     }
@@ -372,14 +425,17 @@ def diff_bench(baseline: dict, current: dict, *, threshold: float = 0.25) -> dic
         ``rows`` (one per kernel present in both artifacts: name, base_s,
         new_s, speedup), ``regressions`` (names), ``added`` / ``removed``
         (names only in one artifact), ``geomean_speedup`` over comparable
-        rows, and the two revisions.
+        rows, ``gate_geomean_speedup`` (geomean over rows above the noise
+        floor — the ``--gate geomean`` CI statistic), the two revisions,
+        and ``fiedler_policies`` (baseline/current run policies; a mismatch
+        means the artifacts timed different solver configurations).
     """
     base_times = {k["name"]: float(k["best_s"]) for k in baseline.get("kernels", [])}
     base_times.update(_cell_rows(baseline))
     new_times = {k["name"]: float(k["best_s"]) for k in current.get("kernels", [])}
     new_times.update(_cell_rows(current))
 
-    rows, regressions, log_speedups = [], [], []
+    rows, regressions, log_speedups, gated_logs = [], [], [], []
     for name in [n for n in base_times if n in new_times]:
         base_s, new_s = base_times[name], new_times[name]
         speedup = base_s / new_s if new_s > 0 else math.inf
@@ -390,9 +446,14 @@ def diff_bench(baseline: dict, current: dict, *, threshold: float = 0.25) -> dic
             regressions.append(name)
         if base_s > 0 and new_s > 0:
             log_speedups.append(math.log(speedup))
+            if base_s >= _NOISE_FLOOR_S:
+                gated_logs.append(math.log(speedup))
         rows.append(row)
 
     geomean = math.exp(sum(log_speedups) / len(log_speedups)) if log_speedups else 1.0
+    # The CI gate statistic: geomean restricted to kernels above the noise
+    # floor, so sub-millisecond jitter cannot fail (or save) a gated job.
+    gate_geomean = math.exp(sum(gated_logs) / len(gated_logs)) if gated_logs else 1.0
     # Total micro-suite wall time over the pinned kernels present in both
     # artifacts (suite cells excluded: the suite section re-times ordering
     # work the kernel rows already cover).
@@ -402,12 +463,17 @@ def diff_bench(baseline: dict, current: dict, *, threshold: float = 0.25) -> dic
     return {
         "baseline_rev": baseline.get("rev", "?"),
         "current_rev": current.get("rev", "?"),
+        "fiedler_policies": (
+            (baseline.get("config") or {}).get("fiedler_policy", "default"),
+            (current.get("config") or {}).get("fiedler_policy", "default"),
+        ),
         "threshold": threshold,
         "rows": rows,
         "regressions": regressions,
         "added": sorted(set(new_times) - set(base_times)),
         "removed": sorted(set(base_times) - set(new_times)),
         "geomean_speedup": geomean,
+        "gate_geomean_speedup": gate_geomean,
         "total_base_s": total_base,
         "total_new_s": total_new,
         "total_speedup": total_base / total_new if total_new > 0 else math.inf,
@@ -431,7 +497,12 @@ def format_diff(diff: dict) -> str:
     for name in diff["removed"]:
         lines.append(f"{name:<44} {'gone':>10} {'-':>10}")
     lines.append(f"geometric-mean speedup over {len(diff['rows'])} kernels: "
-                 f"{diff['geomean_speedup']:.2f}x")
+                 f"{diff['geomean_speedup']:.2f}x "
+                 f"(above noise floor: {diff.get('gate_geomean_speedup', 1.0):.2f}x)")
+    policies = diff.get("fiedler_policies", ("default", "default"))
+    if policies[0] != policies[1]:
+        lines.append(f"WARNING: fiedler policies differ (baseline {policies[0]}, "
+                     f"current {policies[1]}) — timings are not like-for-like")
     lines.append(f"total micro-suite wall time: {diff['total_base_s']:.3f}s -> "
                  f"{diff['total_new_s']:.3f}s ({diff['total_speedup']:.2f}x)")
     if diff["regressions"]:

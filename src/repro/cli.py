@@ -255,6 +255,16 @@ def _cmd_suite(args) -> int:
               "a per-task limit)", file=sys.stderr)
         return 2
 
+    timeout_auto = isinstance(args.timeout, str) and args.timeout.strip().lower() == "auto"
+    timeout: "float | None" = None
+    if args.timeout is not None and not timeout_auto:
+        try:
+            timeout = float(args.timeout)
+        except ValueError:
+            print(f"--timeout must be a number of seconds or 'auto', got "
+                  f"{args.timeout!r}", file=sys.stderr)
+            return 2
+
     cost_model = None
     if args.cost_model:
         try:
@@ -270,6 +280,26 @@ def _cmd_suite(args) -> int:
         # No prior timings: the pure n*nnz fallback estimator still beats
         # round-robin on mixed-cost suites and stays deterministic.
         cost_model = CostModel()
+
+    if timeout_auto:
+        # Cost-model-derived per-cell limits: estimate x safety factor with a
+        # 1 s floor; cells the model never directly observed get no limit.
+        from repro.batch import auto_timeout
+
+        auto_model = cost_model or CostModel()
+        timeout = auto_timeout(auto_model)
+        if len(auto_model) == 0:
+            detail = (f"the cost model {args.cost_model} holds no usable timings"
+                      if args.cost_model else "no cost model given (use --cost-model)")
+            print(f"--timeout auto: {detail}; no cell has a prior observation, "
+                  f"so no timeouts apply", file=sys.stderr)
+
+    algorithm_options = None
+    if args.fiedler_policy == "fast":
+        # The rank-stability fast path of the spectral solvers; combinatorial
+        # algorithms are unaffected.
+        algorithm_options = {"spectral": {"tol_policy": "ordering"},
+                             "hybrid": {"tol_policy": "ordering"}}
 
     normalized = [str(name).strip().upper() for name in problems]
     total_tasks = len(normalized) * len(algorithms)
@@ -371,10 +401,11 @@ def _cmd_suite(args) -> int:
             scale=args.scale,
             n_jobs=args.jobs,
             base_seed=args.seed,
+            algorithm_options=algorithm_options,
             shard=shard,
             balance=args.balance,
             cost_model=cost_model,
-            timeout=args.timeout,
+            timeout=timeout,
             retry_timeouts=args.retry_timeouts,
             timeout_growth=args.timeout_growth,
             completed=completed,
@@ -532,6 +563,7 @@ def _cmd_bench(args) -> int:
         include_suite=not args.no_suite,
         on_result=on_result,
         rev=rev,
+        fiedler_policy=args.fiedler_policy,
     )
     output = Path(args.output) if args.output else default_artifact_path(rev)
     save_bench(artifact, output)
@@ -549,7 +581,21 @@ def _cmd_bench(args) -> int:
     if baseline is not None:
         diff = diff_bench(baseline, artifact, threshold=args.threshold)
         print(format_diff(diff))
-        if diff["regressions"]:
+        policies = diff["fiedler_policies"]
+        if policies[0] != policies[1]:
+            print(f"cannot gate: baseline was recorded with --fiedler-policy "
+                  f"{policies[0]} but this run used {policies[1]} — the "
+                  f"timings are not like-for-like (rerun with a matching "
+                  f"policy or record a new baseline)", file=sys.stderr)
+            return 2
+        if args.gate == "geomean":
+            floor = 1.0 / (1.0 + args.threshold)
+            if diff["gate_geomean_speedup"] < floor:
+                print(f"geomean gate failed: {diff['gate_geomean_speedup']:.2f}x "
+                      f"< {floor:.2f}x (threshold {args.threshold:.0%})",
+                      file=sys.stderr)
+                return 1
+        elif diff["regressions"]:
             return 1
     return 0
 
@@ -653,9 +699,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "the longest-first dispatcher; accepts a cost "
                                    "model, results artifact, bench artifact or "
                                    "JSONL stream")
-    suite_parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+    suite_parser.add_argument("--timeout", default=None, metavar="SECONDS|auto",
                               help="per-task wall-clock limit; overrunning tasks are "
-                                   "terminated and recorded with status 'timeout'")
+                                   "terminated and recorded with status 'timeout'. "
+                                   "'auto' derives per-cell limits from the cost "
+                                   "model (estimate x 10, floor 1 s; cells without "
+                                   "a prior observation get no limit)")
     suite_parser.add_argument("--retry-timeouts", type=int, default=0, metavar="R",
                               help="escalation rounds for timed-out cells: re-run "
                                    "them with the limit grown by --timeout-growth, "
@@ -671,6 +720,14 @@ def build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument("--resume", default=None, metavar="PATH.jsonl",
                               help="reuse the completed records of a killed run's "
                                    "--stream-output file and run only the rest")
+    suite_parser.add_argument("--fiedler-policy", default="default",
+                              choices=["default", "fast"],
+                              help="'fast' runs the spectral/hybrid cells with the "
+                                   "rank-stability stopping rule (tol_policy="
+                                   "'ordering'): same ordering quality class, much "
+                                   "cheaper eigensolves; results on large problems "
+                                   "are not byte-comparable with default-policy "
+                                   "baselines")
     suite_parser.add_argument("--baseline", default=None,
                               help="diff against a saved results.json (exit 1 on drift)")
     suite_parser.add_argument("--progress", default=None, action=argparse.BooleanOptionalAction,
@@ -715,6 +772,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--threshold", type=float, default=0.25,
                               help="relative slowdown flagged as a regression "
                                    "(default 0.25 = 25%%)")
+    bench_parser.add_argument("--gate", default="kernel", choices=["kernel", "geomean"],
+                              help="what fails a --against run: any per-kernel "
+                                   "regression beyond --threshold (default), or "
+                                   "only a geomean slowdown beyond --threshold "
+                                   "over kernels above the noise floor (the CI "
+                                   "smoke gate — robust to single-kernel jitter)")
+    bench_parser.add_argument("--fiedler-policy", default="default",
+                              choices=["default", "fast"],
+                              help="'fast' times the spectral/eigen kernels under "
+                                   "the rank-stability stopping rule; recorded in "
+                                   "the artifact config")
     bench_parser.set_defaults(func=_cmd_bench)
 
     spy_parser = sub.add_parser("spy", help="ASCII structure plot under an ordering")

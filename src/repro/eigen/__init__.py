@@ -19,6 +19,7 @@ from repro.eigen.lanczos import LanczosResult, lanczos_smallest_nontrivial
 from repro.eigen.rqi import RQIResult, rayleigh_quotient_iteration
 from repro.eigen.multilevel import MultilevelResult, multilevel_fiedler
 from repro.eigen.fiedler import FiedlerResult, fiedler_vector
+from repro.eigen.workspace import SpectralWorkspace, spectral_workspace
 
 __all__ = [
     "LanczosResult",
@@ -29,4 +30,6 @@ __all__ = [
     "multilevel_fiedler",
     "FiedlerResult",
     "fiedler_vector",
+    "SpectralWorkspace",
+    "spectral_workspace",
 ]

@@ -32,8 +32,7 @@ import scipy.sparse.linalg as spla
 
 from repro.eigen.lanczos import deflate_constant, lanczos_smallest_nontrivial
 from repro.eigen.multilevel import multilevel_fiedler
-from repro.graph.components import is_connected
-from repro.graph.laplacian import laplacian_matrix
+from repro.eigen.workspace import spectral_workspace
 from repro.sparse.ops import structure_from_matrix
 from repro.utils.rng import default_rng
 
@@ -92,6 +91,7 @@ def fiedler_vector(
     tol: float = 1e-8,
     rng=None,
     check_connected: bool = True,
+    tol_policy: str = "residual",
     **solver_options,
 ) -> FiedlerResult:
     """Compute a second Laplacian eigenvector of the adjacency graph of *pattern*.
@@ -112,6 +112,14 @@ def fiedler_vector(
         disconnected — the Fiedler value of a disconnected graph is 0 and its
         eigenvector carries no ordering information.  Callers that handle
         components themselves (the spectral ordering does) pass ``False``.
+    tol_policy:
+        ``"residual"`` (default) or ``"ordering"`` — the spectral-ordering
+        fast path of the ``lanczos`` and ``multilevel`` solvers: stop
+        refining once the eigenvector's induced vertex *ranking* is stable,
+        which orderings (the only consumers of ranks) hit far earlier than
+        the eigen-residual tolerance.  Ignored by the ``dense``, ``eigsh``
+        and ``lobpcg`` solvers, and a no-op on graphs with at most
+        :data:`repro.eigen.lanczos.ORDERING_EXACT_MAX_N` vertices.
     **solver_options:
         Extra keyword arguments forwarded to the chosen solver
         (e.g. ``coarsest_size=...`` for the multilevel method).
@@ -126,14 +134,19 @@ def fiedler_vector(
         raise ValueError("the Fiedler vector is defined only for graphs with >= 2 vertices")
     if method not in FIEDLER_METHODS:
         raise ValueError(f"method must be one of {FIEDLER_METHODS}, got {method!r}")
-    if check_connected and not is_connected(pattern):
+    if tol_policy not in ("residual", "ordering"):
+        raise ValueError(
+            f"tol_policy must be 'residual' or 'ordering', got {tol_policy!r}"
+        )
+    workspace = spectral_workspace(pattern)
+    if check_connected and workspace.components()[0] != 1:
         raise ValueError(
             "the adjacency graph is disconnected; order each connected component "
             "separately (the spectral ordering does this automatically)"
         )
 
     resolved = _resolve_auto(n) if method == "auto" else method
-    laplacian = laplacian_matrix(pattern)
+    laplacian = workspace.laplacian()
     rng = default_rng(rng)
 
     if resolved == "dense":
@@ -144,11 +157,15 @@ def fiedler_vector(
         residual = float(np.linalg.norm(laplacian @ vector - eigenvalue * vector))
         converged = True
     elif resolved == "lanczos":
-        result = lanczos_smallest_nontrivial(laplacian, tol=tol, rng=rng, **solver_options)
+        result = lanczos_smallest_nontrivial(
+            laplacian, tol=tol, rng=rng, tol_policy=tol_policy, **solver_options
+        )
         eigenvalue, vector = result.eigenvalue, result.eigenvector
         residual, converged = result.residual_norm, result.converged
     elif resolved == "multilevel":
-        result = multilevel_fiedler(pattern, tol=tol, rng=rng, **solver_options)
+        result = multilevel_fiedler(
+            pattern, tol=tol, rng=rng, tol_policy=tol_policy, **solver_options
+        )
         eigenvalue, vector = result.eigenvalue, result.eigenvector
         residual, converged = result.residual_norm, result.converged
     elif resolved == "eigsh":

@@ -7,7 +7,7 @@ The three ingredients added to Lanczos are:
   (:func:`repro.graph.coarsen.coarsening_hierarchy`), stopping when the graph
   has at most ``coarsest_size`` vertices (the paper uses "typically 100");
 * **Interpolation** — prolong a coarse second eigenvector to the next finer
-  graph (:func:`repro.graph.coarsen.interpolate_vector`);
+  graph (:func:`repro.graph.coarsen.interpolate_block`);
 * **Refinement** — polish the interpolated vector with Rayleigh Quotient
   Iteration (:func:`repro.eigen.rqi.rayleigh_quotient_iteration`), which
   "usually requires only one or perhaps two iterations".
@@ -22,6 +22,27 @@ and refined with a few warm-started LOBPCG iterations per level, with the
 constant vector constrained out.  The leading refined vector is still passed
 through RQI exactly as the paper describes; the block is the safety net that
 keeps it attached to the bottom of the spectrum.
+
+Hot-path layout: the Laplacian, the component split and the coarsening
+hierarchy (plus one prebuilt Laplacian per level) come from the shared
+:class:`repro.eigen.workspace.SpectralWorkspace` plan attached to the
+pattern, so repeated solves — ``spectral`` and ``hybrid`` cells of one suite
+problem, bench repeats, the two sort directions of Algorithm 1 — never
+re-coarsen or re-assemble a matrix.  Per-level refinement bounds the RQI
+inner MINRES sweep (``rqi_inner_iter``, default 80 — the tail of a long
+MINRES sweep polishes digits the next level's interpolation throws away) and
+relaxes the intermediate-level LOBPCG tolerance to ``1e-6`` so converged
+levels exit early; the finest level and the final polish still run at the
+caller's ``tol``, and a warm-started Lanczos guard backstops the residual
+contract, so accuracy is unchanged where it matters.
+
+``tol_policy="ordering"`` (the spectral-ordering fast path) additionally
+stops the finest-level polish as soon as the leading vector's induced vertex
+ranking stagnates between LOBPCG chunks, and skips the Lanczos guard when it
+does — orderings consume only ranks.  On graphs with at most
+:data:`repro.eigen.lanczos.ORDERING_EXACT_MAX_N` vertices the policy is a
+no-op (byte-identical to the default path; pinned by the differential sweep
+test).
 """
 
 from __future__ import annotations
@@ -32,14 +53,50 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse.linalg as spla
 
-from repro.eigen.lanczos import deflate_constant, lanczos_smallest_nontrivial
+from repro.eigen.lanczos import (
+    ORDERING_EXACT_MAX_N,
+    ORDERING_STAGNATION_RTOL,
+    _canonical_ritz,
+    deflate_constant,
+    lanczos_smallest_nontrivial,
+)
 from repro.eigen.rqi import rayleigh_quotient, rayleigh_quotient_iteration
-from repro.graph.coarsen import coarsening_hierarchy, interpolate_vector
+from repro.eigen.workspace import spectral_workspace
+from repro.graph.coarsen import interpolate_block
 from repro.graph.laplacian import laplacian_matrix
 from repro.sparse.pattern import SymmetricPattern
 from repro.utils.rng import default_rng
 
 __all__ = ["MultilevelResult", "multilevel_fiedler"]
+
+#: Intermediate hierarchy levels refine to this tolerance (or the caller's
+#: ``tol`` if looser): the next interpolation re-introduces O(1e-2) error, so
+#: polishing coarse levels to 1e-8 is wasted work.  The finest level and the
+#: final polish always use the caller's ``tol``.
+_INTERMEDIATE_TOL = 1e-6
+
+#: Default cap on MINRES iterations inside each per-level RQI refinement.
+_RQI_INNER_CAP = 80
+
+#: LOBPCG sweep budget at *intermediate* levels (the finest level and the
+#: final polish run the caller's full ``lobpcg_steps``): the next
+#: interpolation discards most of the extra accuracy, and the finest-level
+#: sweep + polish + guard own the residual contract.
+_INTERMEDIATE_LOBPCG_STEPS = 10
+
+#: Fast-path (``tol_policy="ordering"``) variants of the above.
+_FAST_INTERMEDIATE_TOL = 1e-5
+_FAST_RQI_INNER_CAP = 40
+_FAST_LOBPCG_CHUNK = 5
+
+#: The warm-started Lanczos guard only runs when the residual is within this
+#: factor of the tolerance: its bounded budget (40 steps x 2 restarts)
+#: reliably closes gaps of a few orders of magnitude but cannot rescue a
+#: residual thousands of times above tol (measured on the bench problems —
+#: it burns its whole budget and returns the start vector's residual), so
+#: such results are returned unconverged without the wasted sweep, exactly
+#: as they were when the guard ran and failed.
+_GUARD_RESIDUAL_WINDOW = 1e3
 
 
 @dataclass(frozen=True)
@@ -65,7 +122,8 @@ class MultilevelResult:
     refinement_iterations:
         Total RQI steps summed over all refinement sweeps.
     converged:
-        Whether the final residual met the tolerance.
+        Whether the final residual met the tolerance (or, under
+        ``tol_policy="ordering"``, the ranking stagnated).
     """
 
     eigenvalue: float
@@ -93,16 +151,19 @@ def _orthonormal_block(block: np.ndarray, rng) -> np.ndarray:
     return q
 
 
-def _coarse_block_solve(pattern: SymmetricPattern, block_size: int, tol: float, rng):
+def _coarse_block_solve(pattern: SymmetricPattern, block_size: int, tol: float,
+                        rng, lap=None):
     """Smallest nontrivial eigenpairs of the coarsest graph.
 
     The coarsest graph normally has at most ``coarsest_size`` (about 100)
     vertices and is solved densely.  If the contraction stalled early (for
     example on star-like graphs whose maximal independent set is almost the
     whole vertex set) the coarsest graph can still be large; then a
-    constrained LOBPCG solve from a random block is used instead.
+    constrained LOBPCG solve from a random block is used instead.  *lap* is
+    the prebuilt Laplacian from the workspace plan (built here otherwise).
     """
-    lap = laplacian_matrix(pattern)
+    if lap is None:
+        lap = laplacian_matrix(pattern)
     n = pattern.n
     k = int(min(block_size, max(1, n - 1)))
     if n <= 600:
@@ -137,6 +198,15 @@ def _lobpcg_refine(laplacian, block: np.ndarray, tol: float, maxiter: int):
     return np.asarray(values)[order], np.asarray(vectors)[:, order]
 
 
+def _leading_residual(lap, block: np.ndarray):
+    """``(vector, rho, residual)`` of the block's leading column on *lap*."""
+    vector = deflate_constant(block[:, 0])
+    vector /= np.linalg.norm(vector)
+    rho = rayleigh_quotient(lap, vector)
+    residual = float(np.linalg.norm(lap @ vector - rho * vector))
+    return vector, rho, residual
+
+
 def multilevel_fiedler(
     pattern: SymmetricPattern,
     *,
@@ -148,6 +218,8 @@ def multilevel_fiedler(
     max_levels: int = 50,
     rng=None,
     mis_strategy: str = "degree",
+    rqi_inner_iter: int | None = None,
+    tol_policy: str = "residual",
 ) -> MultilevelResult:
     """Compute the Fiedler vector with the multilevel contract/interpolate/refine scheme.
 
@@ -160,7 +232,9 @@ def multilevel_fiedler(
         Contraction stops once the coarse graph has at most this many
         vertices ("typically 100" in the paper).
     tol:
-        Residual tolerance for the refinements and the final result.
+        Residual tolerance for the finest-level refinement and the final
+        result (intermediate levels use ``max(tol, 1e-6)``; see module
+        docstring).
     rqi_steps:
         Maximum RQI steps applied to the leading vector at each level ("one or
         perhaps two" usually suffice).
@@ -175,6 +249,13 @@ def multilevel_fiedler(
         Seed or generator for random fallbacks and the MIS strategy.
     mis_strategy:
         Vertex scan order used by the maximal-independent-set coarsener.
+    rqi_inner_iter:
+        Cap on MINRES iterations inside each RQI refinement (default
+        ``min(n, 80)`` per level).
+    tol_policy:
+        ``"residual"`` (default) or ``"ordering"`` — the spectral-ordering
+        fast path (see module docstring).  A no-op on graphs with at most
+        :data:`~repro.eigen.lanczos.ORDERING_EXACT_MAX_N` vertices.
 
     Returns
     -------
@@ -183,64 +264,110 @@ def multilevel_fiedler(
     n = pattern.n
     if n < 2:
         raise ValueError("the graph must have at least 2 vertices")
+    if tol_policy not in ("residual", "ordering"):
+        raise ValueError(
+            f"tol_policy must be 'residual' or 'ordering', got {tol_policy!r}"
+        )
     rng = default_rng(rng)
     block_size = int(max(1, block_size))
+    fast = tol_policy == "ordering" and n > ORDERING_EXACT_MAX_N
 
-    hierarchy = coarsening_hierarchy(
-        pattern,
-        coarsest_size=coarsest_size,
-        max_levels=max_levels,
-        rng=rng,
-        strategy=mis_strategy,
+    workspace = spectral_workspace(pattern)
+    hierarchy, level_laps = workspace.hierarchy(
+        coarsest_size, max_levels, mis_strategy, rng
     )
     coarsest_pattern = hierarchy[-1].coarse_pattern if hierarchy else pattern
     level_sizes = [pattern.n] + [lvl.coarse_pattern.n for lvl in hierarchy]
 
+    # The finest-level Laplacian is shared by every refinement sweep, the
+    # final polish and the residual bookkeeping below — and, through the
+    # workspace, with every other solve on this pattern.
+    full_lap = workspace.laplacian()
+    coarsest_lap = level_laps[-1] if hierarchy else full_lap
+
+    inner_cap = rqi_inner_iter
+    if inner_cap is None:
+        inner_cap = _FAST_RQI_INNER_CAP if fast else _RQI_INNER_CAP
+    mid_tol = max(tol, _FAST_INTERMEDIATE_TOL if fast else _INTERMEDIATE_TOL)
+    mid_steps = min(lobpcg_steps, _INTERMEDIATE_LOBPCG_STEPS)
+
     # --- coarse solve --------------------------------------------------- #
-    _coarse_value, block = _coarse_block_solve(coarsest_pattern, block_size, tol, rng)
+    _coarse_value, block = _coarse_block_solve(
+        coarsest_pattern, block_size, tol, rng, lap=coarsest_lap
+    )
     coarse_iterations = 0  # dense coarse solve: no Lanczos iterations to report
 
     # --- interpolate + refine up the hierarchy --------------------------- #
-    # The finest-level Laplacian is needed both by the last refinement sweep
-    # and by the final polish below; build the CSR matrix once and share it.
-    full_lap = laplacian_matrix(pattern)
     refinement_iterations = 0
     for idx in range(len(hierarchy) - 1, -1, -1):
         level = hierarchy[idx]
-        fine_lap = full_lap if idx == 0 else laplacian_matrix(hierarchy[idx - 1].coarse_pattern)
+        fine_lap = full_lap if idx == 0 else level_laps[idx - 1]
+        fine_n = level.fine_n
+        level_tol = tol if idx == 0 else mid_tol
 
-        block = np.column_stack(
-            [interpolate_vector(level, block[:, j]) for j in range(block.shape[1])]
-        )
-        block = _orthonormal_block(block, rng)
+        block = _orthonormal_block(interpolate_block(level, block), rng)
 
-        # Paper-faithful step: Rayleigh Quotient Iteration on the leading vector.
+        # Paper-faithful step: Rayleigh Quotient Iteration on the leading
+        # vector — "usually requires only one or perhaps two iterations".
+        # One step suffices at intermediate levels (the next interpolation
+        # re-roughens the vector anyway); the finest level gets the caller's
+        # full ``rqi_steps`` budget.
         refined = rayleigh_quotient_iteration(
-            fine_lap, block[:, 0], tol=tol, max_iter=rqi_steps
+            fine_lap, block[:, 0], tol=level_tol,
+            max_iter=rqi_steps if idx == 0 else min(rqi_steps, 1),
+            inner_iter=min(fine_n, inner_cap),
         )
         refinement_iterations += refined.iterations
         block[:, 0] = refined.eigenvector
         block = _orthonormal_block(block, rng)
 
-        # Robustness step: a short warm-started LOBPCG sweep on the block.
-        _values, block = _lobpcg_refine(fine_lap, block, tol=tol, maxiter=lobpcg_steps)
+        # Robustness step: a short warm-started LOBPCG sweep on the block —
+        # full budget at the finest level (it owns the residual contract
+        # together with the polish below), reduced budget at intermediate
+        # levels whose extra digits the next interpolation discards.
+        level_steps = lobpcg_steps if idx == 0 and not fast else mid_steps
+        _values, block = _lobpcg_refine(
+            fine_lap, block, tol=level_tol, maxiter=level_steps
+        )
         block = _orthonormal_block(block, rng)
 
     # --- final polish / bookkeeping on the original graph ----------------- #
+    ranking_stagnated = False
     if not hierarchy:
         vector = deflate_constant(block[:, 0])
         vector /= np.linalg.norm(vector)
+        rho = rayleigh_quotient(full_lap, vector)
+        residual = float(np.linalg.norm(full_lap @ vector - rho * vector))
     else:
-        _values, block = _lobpcg_refine(full_lap, block, tol=tol, maxiter=lobpcg_steps)
-        vector = deflate_constant(block[:, 0])
-        vector /= np.linalg.norm(vector)
+        vector, rho, residual = _leading_residual(full_lap, block)
+        if residual > tol * max(1.0, abs(rho)):
+            if fast:
+                # Chunked polish with a ranking-stagnation stop: orderings
+                # consume only the ranking, which freezes well before the
+                # eigen-residual meets tol.
+                previous = _canonical_ritz(vector)
+                for _chunk in range(max(1, lobpcg_steps // _FAST_LOBPCG_CHUNK)):
+                    _values, block = _lobpcg_refine(
+                        full_lap, block, tol=tol, maxiter=_FAST_LOBPCG_CHUNK
+                    )
+                    current = _canonical_ritz(deflate_constant(block[:, 0]))
+                    delta = float(np.linalg.norm(current - previous))
+                    previous = current
+                    if delta <= ORDERING_STAGNATION_RTOL:
+                        ranking_stagnated = True
+                        break
+            else:
+                _values, block = _lobpcg_refine(
+                    full_lap, block, tol=tol, maxiter=lobpcg_steps
+                )
+            vector, rho, residual = _leading_residual(full_lap, block)
 
-    rho = rayleigh_quotient(full_lap, vector)
-    residual = float(np.linalg.norm(full_lap @ vector - rho * vector))
-    if residual > tol * max(1.0, abs(rho)):
+    tol_bar = tol * max(1.0, abs(rho))
+    if tol_bar < residual <= _GUARD_RESIDUAL_WINDOW * tol_bar and not ranking_stagnated:
         # Last resort: warm-started Lanczos from the multilevel vector.
         guard = lanczos_smallest_nontrivial(
-            full_lap, start=vector, tol=tol, max_iter=40, restarts=2, rng=rng
+            full_lap, start=vector, tol=tol, max_iter=40, restarts=2, rng=rng,
+            tol_policy=tol_policy if fast else "residual",
         )
         coarse_iterations += guard.iterations
         if guard.eigenvalue <= rho + tol and guard.residual_norm <= residual:
@@ -254,5 +381,5 @@ def multilevel_fiedler(
         level_sizes=level_sizes,
         coarse_iterations=coarse_iterations,
         refinement_iterations=refinement_iterations,
-        converged=residual <= tol * max(1.0, abs(rho)),
+        converged=residual <= tol * max(1.0, abs(rho)) or ranking_stagnated,
     )

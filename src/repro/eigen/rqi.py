@@ -57,6 +57,46 @@ class RQIResult:
     converged: bool
 
 
+def _shift_scratch(q: sp.csr_matrix):
+    """Per-call scratch for building ``Q - rho I`` without sparse arithmetic.
+
+    When every row of ``q`` stores an explicit diagonal entry (true of the
+    Laplacians the multilevel scheme feeds in — isolated vertices never reach
+    a per-component solver), the shifted matrix differs from ``q`` only at
+    those ``n`` data slots.  Returns the flat positions of the diagonal
+    entries, or ``None`` when some row lacks one (fall back to ``q - rho*I``).
+    The values produced are identical to the sparse subtraction — same
+    canonical structure, same ``q_ii - rho`` arithmetic — just without
+    allocating and merging two intermediate matrices per RQI step.
+    """
+    n = q.shape[0]
+    if not q.has_sorted_indices:
+        q.sort_indices()
+    counts = np.diff(q.indptr)
+    if counts.min(initial=1) < 1:
+        return None
+    rows = np.repeat(np.arange(n, dtype=np.intp), counts)
+    below = np.add.reduceat((q.indices < rows).astype(np.intp), q.indptr[:-1])
+    diag_pos = q.indptr[:-1] + below
+    if not np.array_equal(q.indices[diag_pos], np.arange(n, dtype=q.indices.dtype)):
+        return None
+    return diag_pos
+
+
+def _shifted(q, rho: float, scratch):
+    """``Q - rho I`` via the precomputed scratch (diagonal positions, or the
+    hoisted identity matrix in the dense fallback)."""
+    if not sp.issparse(q):
+        return q - rho * scratch
+    if scratch is None:
+        return (q - rho * sp.eye(q.shape[0], format="csr")).tocsr()
+    data = q.data.copy()
+    data[scratch] -= rho
+    shifted = sp.csr_matrix((data, q.indices, q.indptr), shape=q.shape)
+    shifted.has_sorted_indices = True
+    return shifted
+
+
 def rayleigh_quotient(matrix, x: np.ndarray) -> float:
     """Rayleigh quotient ``x^T A x / x^T x`` (matrix may be sparse or dense)."""
     x = np.asarray(x, dtype=np.float64)
@@ -117,14 +157,14 @@ def rayleigh_quotient_iteration(
     if inner_iter is None:
         inner_iter = int(min(n, 200))
 
-    identity = sp.eye(n, format="csr") if sp.issparse(q) else np.eye(n)
+    shift_scratch = _shift_scratch(q) if sp.issparse(q) else np.eye(n)
     rho = rayleigh_quotient(q, x)
     residual_norm = float(np.linalg.norm(q @ x - rho * x))
     iterations = 0
     for iterations in range(1, max_iter + 1):
         if residual_norm <= tol * max(1.0, abs(rho)):
             return RQIResult(rho, x, residual_norm, iterations - 1, True)
-        shifted = q - rho * identity
+        shifted = _shifted(q, rho, shift_scratch)
         if sp.issparse(shifted):
             y, _info = spla.minres(shifted, x, maxiter=inner_iter, rtol=1e-10)
         else:

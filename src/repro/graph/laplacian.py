@@ -59,10 +59,50 @@ def adjacency_matrix(pattern, dtype=np.float64, weights=None) -> sp.csr_matrix:
 
 
 def laplacian_matrix(pattern, dtype=np.float64, weights=None) -> sp.csr_matrix:
-    """Graph Laplacian ``Q = D - B`` of the adjacency graph of *pattern*."""
-    b = adjacency_matrix(pattern, dtype=dtype, weights=weights)
-    degrees = np.asarray(b.sum(axis=1)).ravel()
-    return (sp.diags(degrees, format="csr", dtype=dtype) - b).tocsr()
+    """Graph Laplacian ``Q = D - B`` of the adjacency graph of *pattern*.
+
+    The unweighted case assembles the CSR arrays directly — the off-diagonal
+    structure of ``Q`` is exactly the pattern's, plus one explicit diagonal
+    entry per row — instead of building the adjacency matrix and subtracting
+    it from a diagonal matrix.  That skips two intermediate sparse matrices
+    and a sort-and-merge pass while producing the identical canonical CSR
+    (same sorted structure, same values), which the multilevel eigensolver
+    relies on when it rebuilds Laplacians for every level of a hierarchy.
+    """
+    pattern = structure_from_matrix(pattern)
+    if weights is not None:
+        b = adjacency_matrix(pattern, dtype=dtype, weights=weights)
+        degrees = np.asarray(b.sum(axis=1)).ravel()
+        return (sp.diags(degrees, format="csr", dtype=dtype) - b).tocsr()
+    n = pattern.n
+    indptr, indices = pattern.indptr, pattern.indices
+    counts = np.diff(indptr)
+    rows = np.repeat(np.arange(n, dtype=np.intp), counts)
+    # Row-relative position of each off-diagonal entry, and how many of a
+    # row's entries sort before the diagonal (column < row).
+    rel = np.arange(indices.size, dtype=np.intp) - np.repeat(indptr[:-1], counts)
+    below = np.zeros(n, dtype=np.intp)
+    nonempty = counts > 0
+    if indices.size:
+        below[nonempty] = np.add.reduceat(
+            (indices < rows).astype(np.intp), indptr[:-1][nonempty]
+        )
+    # Degree-0 rows get no stored diagonal — matching the canonical form of
+    # the ``diags(degrees) - B`` construction, which drops the zero entry.
+    has_diag = nonempty.astype(np.intp)
+    new_indptr = indptr + np.concatenate(([0], np.cumsum(has_diag)))
+    nnz_new = indices.size + int(has_diag.sum())
+    new_indices = np.empty(nnz_new, dtype=indices.dtype)
+    data = np.empty(nnz_new, dtype=dtype)
+    offdiag_pos = new_indptr[rows] + rel + (rel >= below[rows])
+    diag_pos = (new_indptr[:-1] + below)[nonempty]
+    new_indices[offdiag_pos] = indices
+    new_indices[diag_pos] = np.flatnonzero(nonempty).astype(indices.dtype)
+    data[offdiag_pos] = -1.0
+    data[diag_pos] = counts[nonempty].astype(dtype)
+    lap = sp.csr_matrix((data, new_indices, new_indptr), shape=(n, n))
+    lap.has_sorted_indices = True  # inserted at the in-row sorted position
+    return lap
 
 
 def normalized_laplacian_matrix(pattern, dtype=np.float64) -> sp.csr_matrix:

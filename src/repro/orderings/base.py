@@ -22,7 +22,6 @@ from typing import Callable
 
 import numpy as np
 
-from repro.graph.components import connected_components
 from repro.sparse.ops import structure_from_matrix
 from repro.sparse.pattern import SymmetricPattern
 from repro.utils.rng import default_rng
@@ -142,19 +141,24 @@ def order_by_components(
         meta["num_components"] = 0
         return Ordering(np.empty(0, dtype=np.intp), algorithm=algorithm, metadata=meta)
 
-    num_components, labels = connected_components(pattern)
+    # The component split is a pure function of the structure; the spectral
+    # workspace memoizes it (labels AND subpattern objects) on the pattern,
+    # so every algorithm run on the same pattern shares one split — and the
+    # shared subpatterns accumulate their own degree/Laplacian caches.
+    from repro.eigen.workspace import spectral_workspace
+
+    workspace = spectral_workspace(pattern)
+    num_components, _labels = workspace.components()
     meta["num_components"] = num_components
     if num_components == 1:
         local = np.asarray(component_ordering(pattern), dtype=np.intp)
         return Ordering(check_permutation(local, n), algorithm=algorithm, metadata=meta)
 
     pieces = []
-    for c in range(num_components):
-        vertices = np.flatnonzero(labels == c).astype(np.intp)
-        if vertices.size == 1:
+    for vertices, sub in workspace.component_split():
+        if sub is None:
             pieces.append(vertices)
             continue
-        sub = pattern.subpattern(vertices)
         local = check_permutation(np.asarray(component_ordering(sub), dtype=np.intp),
                                   vertices.size)
         pieces.append(vertices[local])

@@ -111,7 +111,8 @@ def hybrid_spectral_ordering(
     strategy:
         ``"adjacency"`` or ``"window"`` (see module docstring).
     method, tol, rng, **solver_options:
-        Passed to the underlying spectral ordering / Fiedler solver.
+        Passed to the underlying spectral ordering / Fiedler solver
+        (``tol_policy="ordering"`` selects the rank-stability fast path).
     window, sweeps:
         Parameters of the ``"window"`` strategy.
 

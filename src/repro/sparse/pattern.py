@@ -68,7 +68,7 @@ class SymmetricPattern:
     are implicit (assumed structurally nonzero), as in the paper.
     """
 
-    __slots__ = ("n", "indptr", "indices", "_degrees")
+    __slots__ = ("n", "indptr", "indices", "_degrees", "_workspace")
 
     def __init__(self, n: int, indptr, indices, copy: bool = False):
         self.n = require_positive_int(n, "n", minimum=0) if n != 0 else 0
@@ -86,6 +86,7 @@ class SymmetricPattern:
         self.indptr = indptr
         self.indices = indices
         self._degrees = None  # lazy degree cache (the structure is immutable)
+        self._workspace = None  # lazy spectral workspace (repro.eigen.workspace)
 
     # ------------------------------------------------------------------ #
     # constructors

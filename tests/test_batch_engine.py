@@ -162,3 +162,55 @@ class TestRunSuite:
         parallel = run_suite(problems, PAPER_ALGORITHMS, scale=0.03, n_jobs=4)
         assert serial.diff(parallel) == []
         assert serial.to_json(include_timing=False) == parallel.to_json(include_timing=False)
+
+
+class TestPerTaskTimeouts:
+    """Callable (per-cell) timeouts — the --timeout auto machinery."""
+
+    def test_callable_timeout_limits_only_selected_cells(self, monkeypatch):
+        import time
+
+        from repro.orderings.registry import ORDERING_ALGORITHMS
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy",
+                            lambda p: time.sleep(30))
+        policy = lambda task: 0.5 if task.algorithm == "sleepy" else None
+        suite = run_suite(["POW9"], ("rcm", "sleepy"), scale=0.02,
+                          timeout=policy)
+        by_algorithm = {r.algorithm: r for r in suite.records}
+        assert by_algorithm["rcm"].status == "ok"
+        assert by_algorithm["sleepy"].status == "timeout"
+        assert by_algorithm["sleepy"].time_s == 0.5
+
+    def test_auto_timeout_policy_from_cost_model(self):
+        from repro.batch import CostModel, auto_timeout
+        from repro.batch.sched import AUTO_TIMEOUT_FLOOR_S, AUTO_TIMEOUT_SAFETY
+        from repro.batch.tasks import BatchTask
+
+        model = CostModel()
+        model.observe("POW9", "rcm", 0.02, time_s=0.5)
+        policy = auto_timeout(model)
+        seen = BatchTask(problem="POW9", algorithm="rcm", scale=0.02)
+        unseen = BatchTask(problem="POW9", algorithm="gps", scale=0.02)
+        assert policy(seen) == max(AUTO_TIMEOUT_FLOOR_S,
+                                   0.5 * AUTO_TIMEOUT_SAFETY)
+        assert policy(unseen) is None
+        assert model.observed_cell("POW9", "rcm", 0.02)
+        assert not model.observed_cell("POW9", "rcm", 0.05)  # other scale
+
+    def test_callable_timeout_escalation_grows_per_cell(self, monkeypatch):
+        """Retried cells multiply their own base limit by the growth factor;
+        the second attempt's larger window lets the task finish."""
+        import time
+
+        from repro.orderings.registry import ORDERING_ALGORITHMS
+
+        monkeypatch.setitem(
+            ORDERING_ALGORITHMS, "sleepy",
+            lambda p: time.sleep(1.2) or ORDERING_ALGORITHMS["rcm"](p))
+        policy = lambda task: 0.4 if task.algorithm == "sleepy" else None
+        suite = run_suite(["POW9"], ("rcm", "sleepy"), scale=0.02,
+                          timeout=policy, retry_timeouts=2, timeout_growth=3.0)
+        by_algorithm = {r.algorithm: r for r in suite.records}
+        assert by_algorithm["sleepy"].status == "ok"
+        assert by_algorithm["rcm"].status == "ok"

@@ -216,3 +216,109 @@ def test_suite_cells_carry_n_nnz_and_export_cost_model(tmp_path, capsys):
     direct = CostModel()
     direct.observe_bench(quick)
     assert len(direct) >= len(cells)
+
+
+# --------------------------------------------------------------------- #
+# suite cells: best-of-k timing + sizes (cost-model food)
+# --------------------------------------------------------------------- #
+def test_suite_cells_record_best_of_k_timing():
+    artifact = run_bench(quick=True, repeats=2, include_suite=True)
+    suite = artifact["suite"]
+    assert suite["repeats"] == 2
+    for cell in suite["cells"]:
+        if cell["status"] != "ok":
+            continue
+        assert cell["best_s"] is not None and cell["best_s"] > 0
+        # best-of-k is no worse than the last run's engine timing
+        assert cell["best_s"] <= cell["time_s"] + 1e-12
+        assert cell["n"] > 0 and cell["nnz"] > 0
+
+
+def test_diff_and_cost_model_prefer_best_s_cells():
+    from repro.batch import CostModel
+
+    baseline = _artifact_with(
+        [], suite={"scale": 0.02,
+                   "cells": [{"problem": "P", "algorithm": "rcm", "status": "ok",
+                              "time_s": 9.0, "best_s": 2.0, "n": 10, "nnz": 20}]})
+    current = _artifact_with(
+        [], suite={"scale": 0.02,
+                   "cells": [{"problem": "P", "algorithm": "rcm", "status": "ok",
+                              "time_s": 5.0, "best_s": 1.0, "n": 10, "nnz": 20}]})
+    diff = diff_bench(baseline, current)
+    (row,) = diff["rows"]
+    assert row["base_s"] == 2.0 and row["new_s"] == 1.0  # best_s, not time_s
+    model = CostModel()
+    model.observe_bench(current)
+    assert model.estimate("P", "rcm", 0.02) == 1.0
+    # read-compat: artifacts without best_s still feed time_s
+    legacy = _artifact_with(
+        [], suite={"scale": 0.02,
+                   "cells": [{"problem": "P", "algorithm": "rcm", "status": "ok",
+                              "time_s": 5.0}]})
+    legacy_model = CostModel()
+    legacy_model.observe_bench(legacy)
+    assert legacy_model.estimate("P", "rcm", 0.02) == 5.0
+
+
+# --------------------------------------------------------------------- #
+# the geomean CI gate
+# --------------------------------------------------------------------- #
+def test_gate_geomean_tolerates_single_kernel_spikes(tmp_path, monkeypatch):
+    """One kernel regressing hard fails --gate kernel but not --gate geomean
+    (the CI smoke configuration), as long as the geomean stays inside the
+    threshold; a broad slowdown fails both."""
+    import repro.bench
+    import repro.cli
+
+    baseline = _artifact_with([{"name": f"k{i}", "best_s": 0.010}
+                               for i in range(12)])
+    base_path = tmp_path / "BENCH_base.json"
+    base_path.write_text(json.dumps(baseline))
+    spike = _artifact_with(
+        [{"name": "k0", "best_s": 0.100}]
+        + [{"name": f"k{i}", "best_s": 0.010} for i in range(1, 12)], rev="s")
+
+    monkeypatch.setattr(repro.bench, "run_bench", lambda **_: spike)
+    args = ["bench", "--output", str(tmp_path / "BENCH_now.json"),
+            "--against", str(base_path)]
+    assert repro.cli.main(args) == 1                       # per-kernel gate
+    assert repro.cli.main(args + ["--gate", "geomean"]) == 0
+
+    broad = _artifact_with([{"name": f"k{i}", "best_s": 0.020}
+                            for i in range(12)], rev="b")
+    monkeypatch.setattr(repro.bench, "run_bench", lambda **_: broad)
+    assert repro.cli.main(args + ["--gate", "geomean"]) == 1
+
+
+def test_gate_geomean_ignores_sub_noise_floor_rows(tmp_path, monkeypatch):
+    import repro.bench
+    import repro.cli
+
+    baseline = _artifact_with(
+        [{"name": "tiny", "best_s": 1e-5}, {"name": "real", "best_s": 0.010}])
+    base_path = tmp_path / "BENCH_base.json"
+    base_path.write_text(json.dumps(baseline))
+    # the sub-floor kernel "regresses" 100x; the real kernel is unchanged
+    current = _artifact_with(
+        [{"name": "tiny", "best_s": 1e-3}, {"name": "real", "best_s": 0.010}],
+        rev="n")
+    monkeypatch.setattr(repro.bench, "run_bench", lambda **_: current)
+    code = repro.cli.main(["bench", "--output", str(tmp_path / "BENCH_now.json"),
+                           "--against", str(base_path), "--gate", "geomean"])
+    assert code == 0
+
+
+def test_fiedler_policy_recorded_and_mismatch_flagged():
+    fast = run_bench(quick=True, repeats=1, name_filter="graph/mis",
+                     fiedler_policy="fast", rev="f")
+    assert fast["config"]["fiedler_policy"] == "fast"
+    default = run_bench(quick=True, repeats=1, name_filter="graph/mis", rev="d")
+    diff = diff_bench(default, fast)
+    assert diff["fiedler_policies"] == ("default", "fast")
+    assert "not like-for-like" in format_diff(diff)
+
+
+def test_run_bench_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="fiedler_policy"):
+        run_bench(quick=True, repeats=1, fiedler_policy="warp")

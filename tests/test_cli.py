@@ -579,3 +579,67 @@ class TestResumeGuardScope:
         code = main(["merge", str(stream), "--output", str(tmp_path / "m.json")])
         assert code == 2
         assert "incomplete shard set" in capsys.readouterr().err
+
+
+class TestTimeoutAutoAndFiedlerPolicy:
+    """--timeout auto (cost-model-derived per-cell limits) and
+    --fiedler-policy fast (the spectral rank-stability path)."""
+
+    def test_timeout_auto_rejects_garbage(self, capsys):
+        code = main(["suite", "POW9", "--algorithms", "rcm", "--scale", "0.02",
+                     "--timeout", "soon"])
+        assert code == 2
+        assert "'auto'" in capsys.readouterr().err
+
+    def test_timeout_auto_without_model_warns_and_runs(self, capsys):
+        code = main(["suite", "POW9", "--algorithms", "rcm", "--scale", "0.02",
+                     "--timeout", "auto", "--no-progress"])
+        assert code == 0
+        assert "no cell has a prior observation" in capsys.readouterr().err
+
+    def test_timeout_auto_kills_observed_overrunner(self, tmp_path, monkeypatch,
+                                                    capsys):
+        import time
+
+        from repro.batch import CostModel
+        from repro.orderings.registry import ORDERING_ALGORITHMS
+
+        monkeypatch.setitem(ORDERING_ALGORITHMS, "sleepy",
+                            lambda p: time.sleep(30))
+        # the model has seen this cell run fast: estimate * 10 (floored at
+        # 1 s) becomes its limit, so the hung rerun is terminated
+        model = CostModel()
+        model.observe("POW9", "sleepy", 0.02, time_s=0.01)
+        costs = tmp_path / "costs.json"
+        model.save(costs)
+        start = time.monotonic()
+        code = main(["suite", "POW9", "--algorithms", "rcm,sleepy",
+                     "--scale", "0.02", "--timeout", "auto",
+                     "--cost-model", str(costs), "--no-progress"])
+        assert time.monotonic() - start < 20
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "TIMEOUT POW9/sleepy" in out
+
+    def test_fiedler_policy_fast_suite_stays_ok_and_comparable(self):
+        """The fast policy is opt-in: it must keep every cell ok and the
+        envelope quality in the same class as the default path (the golden
+        suite separately pins that the *default* path is untouched)."""
+        from repro.batch import run_suite
+
+        default = run_suite(["CAN1072", "POW9"], ("spectral", "hybrid"),
+                            scale=0.02)
+        fast = run_suite(["CAN1072", "POW9"], ("spectral", "hybrid"),
+                         scale=0.02,
+                         algorithm_options={"spectral": {"tol_policy": "ordering"},
+                                            "hybrid": {"tol_policy": "ordering"}})
+        assert fast.failures == []
+        for d, f in zip(default.records, fast.records):
+            assert f.status == "ok"
+            assert f.metrics["envelope_size"] <= 1.05 * d.metrics["envelope_size"]
+
+    def test_fiedler_policy_flag_accepted(self, capsys):
+        code = main(["suite", "POW9", "--algorithms", "spectral",
+                     "--scale", "0.02", "--fiedler-policy", "fast",
+                     "--no-progress"])
+        assert code == 0

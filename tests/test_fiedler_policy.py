@@ -1,0 +1,149 @@
+"""The ``tol_policy="ordering"`` fast path and the reorthogonalization policy.
+
+Two guarantees are pinned here:
+
+* **Differential sweep** — on the full 25-pattern random sweep (all below
+  :data:`repro.eigen.lanczos.ORDERING_EXACT_MAX_N`, where the ordering policy
+  accepts only exact ranking stability), the fast path produces exactly the
+  same envelope/bandwidth metrics as the default path for both the Lanczos
+  and the multilevel solver.
+* **Ghost-eigenvalue safety** — selective reorthogonalization matches the
+  full-reorthogonalization escape hatch on eigenvalues and meets the same
+  residual tolerance; the explicitly computed residual (not a Ritz estimate)
+  backs the convergence flag, so a ghost pair cannot fake it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collections.generators import random_geometric_pattern
+from repro.collections.meshes import grid2d_pattern, path_pattern
+from repro.eigen.fiedler import fiedler_vector
+from repro.eigen.lanczos import ORDERING_EXACT_MAX_N, lanczos_smallest_nontrivial
+from repro.eigen.multilevel import multilevel_fiedler
+from repro.envelope.metrics import envelope_statistics
+from repro.graph.laplacian import laplacian_matrix
+from repro.orderings.registry import ORDERING_ALGORITHMS
+from repro.sparse.pattern import SymmetricPattern
+
+
+def _sweep_patterns(count: int = 25):
+    """The 25-pattern differential sweep: random structures of mixed density,
+    all small enough for the exact-ranking regime of the ordering policy."""
+    patterns = []
+    master = np.random.default_rng(20260730)
+    for i in range(count):
+        n = int(master.integers(30, 260))
+        density = float(master.uniform(1.0, 3.0))
+        edge_count = int(n * density)
+        edges = master.integers(0, n, size=(edge_count, 2))
+        edges = [(int(a), int(b)) for a, b in edges if a != b]
+        patterns.append(SymmetricPattern.from_edges(n, edges))
+    return patterns
+
+
+@pytest.mark.parametrize("method", ["lanczos", "multilevel"])
+def test_fast_policy_matches_default_metrics_on_sweep(method):
+    """envelope/bandwidth of --fiedler-policy fast == default, 25 patterns."""
+    spectral = ORDERING_ALGORITHMS["spectral"]
+    for i, pattern in enumerate(_sweep_patterns()):
+        default = spectral(pattern.copy(), method=method,
+                           rng=np.random.default_rng(i))
+        fast = spectral(pattern.copy(), method=method,
+                        rng=np.random.default_rng(i), tol_policy="ordering")
+        stats_default = envelope_statistics(pattern, default.perm)
+        stats_fast = envelope_statistics(pattern, fast.perm)
+        assert stats_fast.envelope_size == stats_default.envelope_size, (
+            f"pattern #{i} (n={pattern.n}, {method}): envelope diverged"
+        )
+        assert stats_fast.bandwidth == stats_default.bandwidth, (
+            f"pattern #{i} (n={pattern.n}, {method}): bandwidth diverged"
+        )
+
+
+def test_fast_policy_is_noop_below_exact_threshold():
+    """Below ORDERING_EXACT_MAX_N the multilevel fast path is byte-identical."""
+    pattern = random_geometric_pattern(400, seed=2)
+    assert pattern.n <= ORDERING_EXACT_MAX_N
+    default = multilevel_fiedler(pattern.copy(), coarsest_size=60, rng=1)
+    fast = multilevel_fiedler(pattern.copy(), coarsest_size=60, rng=1,
+                              tol_policy="ordering")
+    assert fast.eigenvalue == default.eigenvalue
+    np.testing.assert_array_equal(fast.eigenvector, default.eigenvector)
+
+
+def test_ordering_policy_stops_early_on_large_graph():
+    pattern = grid2d_pattern(60, 48)  # 2880 > ORDERING_EXACT_MAX_N
+    assert pattern.n > ORDERING_EXACT_MAX_N
+    lap = laplacian_matrix(pattern)
+    default = lanczos_smallest_nontrivial(lap, rng=0)
+    fast = lanczos_smallest_nontrivial(lap, rng=0, tol_policy="ordering")
+    assert fast.converged
+    assert fast.stopped_on == "ordering"
+    assert fast.iterations < default.iterations
+    # the early-stopped eigenvalue is the same eigenvalue to ordering accuracy
+    assert fast.eigenvalue == pytest.approx(default.eigenvalue, rel=1e-3)
+
+
+class TestSelectiveReorthogonalization:
+    @pytest.mark.parametrize("n", [24, 150])
+    def test_selective_matches_full_on_path_graphs(self, n):
+        lap = laplacian_matrix(path_pattern(n))
+        full = lanczos_smallest_nontrivial(lap, rng=3, reorth="full", tol=1e-10)
+        selective = lanczos_smallest_nontrivial(lap, rng=3, tol=1e-10)
+        assert selective.converged == full.converged or selective.converged
+        assert selective.eigenvalue == pytest.approx(full.eigenvalue, rel=1e-7)
+        # Residual parity (the acceptance bar): selective — including its
+        # full-reorth fallback restart on hard cases — never ends with a
+        # worse residual than the full path's tolerance achievement.
+        assert selective.residual_norm <= max(full.residual_norm, 1e-10)
+
+    def test_selective_reorthogonalizes_less_than_full(self):
+        pattern = grid2d_pattern(40, 30)
+        lap = laplacian_matrix(pattern)
+        full = lanczos_smallest_nontrivial(lap, rng=0, reorth="full")
+        selective = lanczos_smallest_nontrivial(lap, rng=0)
+        assert full.reorth_count == full.iterations
+        assert selective.reorth_count < full.reorth_count
+        assert selective.converged
+        assert selective.eigenvalue == pytest.approx(full.eigenvalue, rel=1e-6)
+
+    def test_no_ghost_zero_eigenvalue_on_connected_graph(self):
+        """Loss of orthogonality against the deflated constant vector would
+        surface as a spurious ~0 Ritz value; the per-step re-deflation and
+        the explicit residual check keep the converged pair genuine."""
+        pattern = grid2d_pattern(45, 40)  # long run: 1800 vertices
+        lap = laplacian_matrix(pattern)
+        exact = 2.0 - 2.0 * np.cos(np.pi / 45) + 2.0 - 2.0 * np.cos(0.0)
+        result = lanczos_smallest_nontrivial(lap, rng=1, tol=1e-9)
+        dense_lambda2 = float(np.linalg.eigvalsh(lap.toarray())[1])
+        assert result.eigenvalue == pytest.approx(dense_lambda2, rel=1e-5)
+        assert result.eigenvalue > 1e-6  # not the deflated null eigenvalue
+        residual = np.linalg.norm(
+            lap @ result.eigenvector - result.eigenvalue * result.eigenvector
+        )
+        assert residual == pytest.approx(result.residual_norm, rel=1e-6)
+
+    def test_invalid_reorth_rejected(self):
+        lap = laplacian_matrix(path_pattern(8))
+        with pytest.raises(ValueError, match="reorth"):
+            lanczos_smallest_nontrivial(lap, reorth="sometimes")
+
+    def test_invalid_tol_policy_rejected(self):
+        lap = laplacian_matrix(path_pattern(8))
+        with pytest.raises(ValueError, match="tol_policy"):
+            lanczos_smallest_nontrivial(lap, tol_policy="vibes")
+        with pytest.raises(ValueError, match="tol_policy"):
+            multilevel_fiedler(path_pattern(8), tol_policy="vibes")
+        with pytest.raises(ValueError, match="tol_policy"):
+            fiedler_vector(path_pattern(8), tol_policy="vibes")
+
+
+def test_fiedler_vector_forwards_policy():
+    pattern = grid2d_pattern(16, 12)
+    default = fiedler_vector(pattern, method="lanczos", rng=4)
+    fast = fiedler_vector(pattern, method="lanczos", rng=4, tol_policy="ordering")
+    # small graph: exact regime; eigenpairs agree to solver accuracy
+    assert fast.eigenvalue == pytest.approx(default.eigenvalue, rel=1e-6)

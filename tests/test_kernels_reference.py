@@ -185,7 +185,10 @@ def _patch_reference_kernels(monkeypatch) -> None:
     monkeypatch.setattr(repro.graph.coarsen, "maximal_independent_set",
                         reference.maximal_independent_set_reference)
     monkeypatch.setattr(repro.graph.coarsen, "_grow_domains", grow_domains_inplace)
-    for module in (repro.graph.components, repro.orderings.base, repro.orderings.gps):
+    # order_by_components now routes through the spectral workspace, whose
+    # lazy import reads repro.graph.components at call time — patching the
+    # source module covers it.
+    for module in (repro.graph.components, repro.orderings.gps):
         monkeypatch.setattr(module, "connected_components",
                             reference.connected_components_reference)
     monkeypatch.setattr(SymmetricPattern, "subpattern", reference.subpattern_reference)
@@ -210,7 +213,10 @@ def test_registered_algorithms_unchanged_by_kernel_vectorization(algorithm):
         with pytest.MonkeyPatch.context() as context:
             _patch_reference_kernels(context)
             kwargs = {"rng": np.random.default_rng(seed)} if algorithm == "random" else {}
-            naive = func(pattern, **kwargs)
+            # A fresh copy so the naive run cannot reuse the fast run's
+            # memoized workspace (component split, Laplacian, hierarchy) —
+            # the reference kernels must actually execute.
+            naive = func(pattern.copy(), **kwargs)
         assert np.array_equal(fast.perm, naive.perm), (
             f"{algorithm} diverged from the reference kernels on pattern #{seed}"
         )
