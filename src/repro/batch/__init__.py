@@ -59,6 +59,7 @@ from repro.batch.sched import (
 )
 from repro.batch.stream import (
     StreamWriter,
+    TruncatedStreamError,
     read_stream,
     stream_header,
     suite_from_stream,
@@ -75,6 +76,7 @@ __all__ = [
     "ShardPlan",
     "StreamWriter",
     "SuiteResult",
+    "TruncatedStreamError",
     "TaskRecord",
     "auto_timeout",
     "build_tasks",

@@ -82,8 +82,28 @@ def _cached_pattern(problem: str, scale: float | None):
     its randomness from its own seed, so cached and cold runs are
     byte-identical in canonical form (pinned by
     ``tests/test_batch_cache.py``).
+
+    When a persistent store is configured (``--store`` / ``REPRO_STORE``)
+    the built structure is additionally spilled to disk keyed by
+    ``(problem, scale)`` and loaded from there on a cold in-process cache —
+    the cross-process extension of this cache that lets every suite worker,
+    bench repeat and ``repro cache prewarm`` share one build.
     """
+    from repro.store.core import get_default_store
+
+    store = get_default_store()
+    if store is not None:
+        from repro.store import spectral as codecs
+
+        pattern = codecs.load_pattern(store, problem, scale)
+        if pattern is not None:
+            return pattern
     pattern, _spec = load_problem(problem, scale=scale)
+    if store is not None:
+        try:
+            codecs.save_pattern(store, problem, scale, pattern)
+        except OSError:
+            pass  # a read-only/full store must never fail the build
     return pattern
 
 

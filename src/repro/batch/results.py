@@ -322,11 +322,15 @@ class SuiteResult:
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> Path:
-        """Write the full (timed) JSON artifact to *path*; returns the path."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json())
-        return path
+        """Write the full (timed) JSON artifact to *path*; returns the path.
+
+        The write is atomic (tempfile + ``os.replace``), so a kill mid-save
+        cannot leave a truncated artifact for a later ``--against`` /
+        ``repro merge`` to fail on.
+        """
+        from repro.utils.atomic import atomic_write_text
+
+        return atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path) -> "SuiteResult":

@@ -318,11 +318,17 @@ class CostModel:
         return model
 
     def save(self, path) -> Path:
-        """Write the model as indented JSON; returns the path."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
-        return path
+        """Write the model as indented JSON; returns the path.
+
+        The write is atomic (tempfile + ``os.replace``): a run killed
+        mid-save leaves the previous complete model, never a truncated file
+        that a later ``--cost-model`` load would choke on.
+        """
+        from repro.utils.atomic import atomic_write_text
+
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
 
     @classmethod
     def load(cls, path) -> "CostModel":

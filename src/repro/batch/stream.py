@@ -44,6 +44,7 @@ from repro.batch.results import (
 
 __all__ = [
     "StreamWriter",
+    "TruncatedStreamError",
     "read_stream",
     "stream_header",
     "suite_from_stream",
@@ -51,6 +52,18 @@ __all__ = [
 ]
 
 _ENGINE_NAME = "repro.batch"
+
+
+class TruncatedStreamError(ValueError):
+    """A stream file holding no complete line — a run killed during the very
+    first (header) write, or an empty file.
+
+    This is the *resumable* flavour of stream damage: the file carries no
+    records, so a resuming run loses nothing by starting fresh and
+    overwriting it.  Distinct from the plain :class:`ValueError` raised for
+    genuine corruption (garbage lines, a missing header before real
+    records), which must stop a resume rather than silently discard data.
+    """
 
 
 def stream_header(
@@ -175,15 +188,22 @@ def read_stream(path) -> tuple[dict, list[TaskRecord]]:
 
     Raises
     ------
+    TruncatedStreamError
+        When the file holds no complete line at all — empty, or killed
+        during the first (header) write.  The file carries no records, so
+        callers may treat this as "nothing to resume" and start fresh.
     ValueError
-        When the file is empty, does not start with a header line, or has a
-        malformed line anywhere but the end.
+        When the file does not start with a header line or has a malformed
+        line anywhere but the end (genuine corruption — not resumable).
     OSError
         When the file cannot be read at all.
     """
     lines = Path(path).read_text().splitlines()
     if not lines:
-        raise ValueError(f"stream file {path} is empty")
+        raise TruncatedStreamError(
+            f"stream file {path} is empty (no records to resume; "
+            f"the previous run was killed before its header write completed)"
+        )
     parsed = []
     for number, line in enumerate(lines, start=1):
         if not line.strip():
@@ -203,7 +223,16 @@ def read_stream(path) -> tuple[dict, list[TaskRecord]]:
                 f"JSON object"
             )
         parsed.append(payload)
-    if not parsed or parsed[0].get("kind") != "header":
+    if not parsed:
+        # Every line was blank or a truncated final write: the signature of
+        # a run killed during its very first (header) write.  No records
+        # were lost, so report a resumable condition, not corruption.
+        raise TruncatedStreamError(
+            f"stream file {path} has no complete line (the previous run was "
+            f"killed during its header write); no records to resume — "
+            f"starting fresh is safe"
+        )
+    if parsed[0].get("kind") != "header":
         raise ValueError(
             f"stream file {path} does not start with a header line"
         )

@@ -358,10 +358,12 @@ def run_bench(
 
 
 def save_bench(artifact: dict, path) -> Path:
-    """Write the artifact as indented JSON; returns the path."""
-    path = Path(path)
-    path.write_text(json.dumps(artifact, indent=2, sort_keys=False) + "\n")
-    return path
+    """Write the artifact as indented JSON, atomically; returns the path."""
+    from repro.utils.atomic import atomic_write_text
+
+    return atomic_write_text(
+        path, json.dumps(artifact, indent=2, sort_keys=False) + "\n"
+    )
 
 
 def load_bench(path) -> dict:

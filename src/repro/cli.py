@@ -60,6 +60,20 @@ actually runs (full reference: ``docs/running.md``):
     See ``docs/performance.md`` for the artifact schema and how to read a
     regression diff.
 
+``cache``
+    Inspect and manage the persistent artifact store shared by ``suite`` and
+    ``bench`` runs (``--store DIR`` or the ``REPRO_STORE`` environment
+    variable)::
+
+        repro cache ls --store ./cache           # one row per entry
+        repro cache info --store ./cache --json  # per-kind counts and bytes
+        repro cache prewarm POW9 --store ./cache # build + store ahead of time
+        repro cache clear --store ./cache        # delete every entry
+
+    The store is pure: warm-from-disk results are byte-identical to cold,
+    and corrupt or stale entries read back as misses (see
+    ``docs/performance.md`` for the content-addressing scheme).
+
 ``spy``
     Print an ASCII structure plot of a matrix under a chosen ordering
     (the Figure 4.1-4.5 view).
@@ -87,6 +101,7 @@ from repro.batch import (
     SchemaVersionError,
     StreamWriter,
     SuiteResult,
+    TruncatedStreamError,
     build_tasks,
     dedupe_records,
     merge_results,
@@ -98,6 +113,7 @@ from repro.batch import (
     suite_from_stream,
     validate_stream_header,
 )
+from repro.utils.atomic import atomic_write_text
 from repro.analysis.spy import ascii_spy, band_profile
 from repro.collections.registry import available_problems, load_problem
 from repro.core.pipeline import reorder
@@ -230,7 +246,32 @@ def _load_artifact(path: str, role: str) -> "SuiteResult | int":
         return 2
 
 
+def _activate_store(store_arg):
+    """Resolve the persistent artifact store for a run, or ``None``.
+
+    ``--store DIR`` is exported as ``REPRO_STORE`` (not just set in-process)
+    so that suite worker processes inherit it and share the same cache
+    directory; without the flag, an inherited ``REPRO_STORE`` still applies.
+    """
+    import os
+
+    if store_arg:
+        os.environ["REPRO_STORE"] = str(Path(store_arg))
+    from repro.store import get_default_store
+
+    return get_default_store()
+
+
+def _store_stats_line(store) -> str:
+    """One summary line of this process's store traffic (CI greps it)."""
+    stats = store.stats
+    return (f"store {store.root}: {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es), {stats['writes']} write(s), "
+            f"{stats['corrupt']} corrupt evicted")
+
+
 def _cmd_suite(args) -> int:
+    store = _activate_store(args.store)
     if args.table and args.problems:
         print("give either problem names or --table, not both", file=sys.stderr)
         return 2
@@ -348,30 +389,37 @@ def _cmd_suite(args) -> int:
             print(f"resume file {resume_path} not found; starting fresh",
                   file=sys.stderr)
         else:
+            header = None
             try:
                 header, completed = read_stream(resume_path)
             except OSError as exc:
                 print(f"cannot read resume file {resume_path}: {exc}", file=sys.stderr)
                 return 2
+            except TruncatedStreamError as exc:
+                # A run killed during its very first (header) write: no
+                # records exist, so nothing is lost by starting fresh.
+                print(f"{exc}", file=sys.stderr)
+                completed = []
             except ValueError as exc:
                 print(exc, file=sys.stderr)
                 return 2
-            try:
-                validate_stream_header(header, expected_header)
-            except ValueError as exc:
-                print(f"cannot resume from {resume_path}: {exc}", file=sys.stderr)
-                return 2
-            # Retried cells appear several times in an escalated stream;
-            # only the final attempt counts (supersede semantics).
-            completed = dedupe_records(completed)
-            # Timeout records are machine/limit artifacts, not results:
-            # retry those cells (possibly under a new --timeout) instead of
-            # carrying the timeout forward.
-            retry = [r for r in completed if r.timed_out]
-            if retry:
-                completed = [r for r in completed if not r.timed_out]
-                print(f"retrying {len(retry)} timed-out cell(s) from {resume_path}",
-                      file=sys.stderr)
+            if header is not None:
+                try:
+                    validate_stream_header(header, expected_header)
+                except ValueError as exc:
+                    print(f"cannot resume from {resume_path}: {exc}", file=sys.stderr)
+                    return 2
+                # Retried cells appear several times in an escalated stream;
+                # only the final attempt counts (supersede semantics).
+                completed = dedupe_records(completed)
+                # Timeout records are machine/limit artifacts, not results:
+                # retry those cells (possibly under a new --timeout) instead of
+                # carrying the timeout forward.
+                retry = [r for r in completed if r.timed_out]
+                if retry:
+                    completed = [r for r in completed if not r.timed_out]
+                    print(f"retrying {len(retry)} timed-out cell(s) from {resume_path}",
+                          file=sys.stderr)
 
     writer = None
     append = bool(completed) and resume_path == stream_path
@@ -433,6 +481,10 @@ def _cmd_suite(args) -> int:
     if completed:
         summary += f"; {len(completed)} reused from {resume_path}"
     print(summary)
+    if store is not None:
+        # Per-process counters: with --jobs > 1 the workers' hits/writes
+        # accrue in the worker processes, not here.
+        print(_store_stats_line(store))
     if args.output:
         suite.save(args.output)
         print(f"results written to {args.output}")
@@ -508,8 +560,7 @@ def _cmd_merge(args) -> int:
         print(f"merge failed: {exc}", file=sys.stderr)
         return 2
     output = Path(args.output)
-    output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(merged.to_json(include_timing=not args.canonical))
+    atomic_write_text(output, merged.to_json(include_timing=not args.canonical))
     form = "canonical (timing-free)" if args.canonical else "full"
     print(
         f"merged {len(merged.records)} record(s) from {len(suites)} artifact(s) "
@@ -533,6 +584,7 @@ def _cmd_bench(args) -> int:
         save_bench,
     )
 
+    store = _activate_store(args.store)
     if args.repeats is not None and args.repeats < 1:
         print(f"--repeats must be a positive integer, got {args.repeats}",
               file=sys.stderr)
@@ -569,6 +621,8 @@ def _cmd_bench(args) -> int:
     save_bench(artifact, output)
     print(f"bench artifact written to {output} "
           f"({len(artifact['kernels'])} kernels, {artifact['total_s']:.1f} s total)")
+    if store is not None:
+        print(_store_stats_line(store))
 
     if args.export_cost_model:
         model = CostModel()
@@ -598,6 +652,92 @@ def _cmd_bench(args) -> int:
         elif diff["regressions"]:
             return 1
     return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.store import ArtifactStore, set_default_store
+
+    if args.store:
+        store = ArtifactStore(args.store)
+    else:
+        store = _activate_store(None)
+    if store is None:
+        print("no store configured: pass --store DIR or set REPRO_STORE",
+              file=sys.stderr)
+        return 2
+
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.root}")
+        return 0
+
+    if args.cache_command == "ls":
+        rows = store.entries()
+        if not rows:
+            print(f"store {store.root}: empty")
+            return 0
+        print(f"{'KEY':<14} {'KIND':<12} {'VER':>3} {'BYTES':>10}  DIGEST")
+        for row in rows:
+            version = "?" if row["builder_version"] is None else row["builder_version"]
+            print(f"{row['key'][:12]:<14} {row['kind']:<12} {version!s:>3} "
+                  f"{row['bytes']:>10,}  {row['pattern_digest'][:12]}")
+        print(f"{len(rows)} entr{'y' if len(rows) == 1 else 'ies'}")
+        return 0
+
+    if args.cache_command == "info":
+        import json
+
+        info = store.info()
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"store {info['root']} (schema v{info['store_schema']}): "
+              f"{info['entries']} entr{'y' if info['entries'] == 1 else 'ies'}, "
+              f"{info['bytes']:,} bytes")
+        for kind in sorted(info["kinds"]):
+            bucket = info["kinds"][kind]
+            print(f"  {kind:<12} {bucket['entries']:>5} entr"
+                  f"{'y' if bucket['entries'] == 1 else 'ies'} "
+                  f"{bucket['bytes']:>12,} bytes")
+        return 0
+
+    # prewarm: build each problem's structural plan into the store so a
+    # later suite/bench run starts warm.  Fiedler/hierarchy entries key on
+    # solver configuration and rng state, so they populate on first real use.
+    from repro.eigen.workspace import spectral_workspace
+    from repro.store import spectral as codecs
+
+    names = args.problems or available_problems()
+    set_default_store(store)
+    failures = 0
+    for name in names:
+        try:
+            pattern, spec = load_problem(name, scale=args.scale)
+        except (KeyError, ValueError) as exc:
+            print(f"  {name}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            codecs.save_pattern(store, spec.name, args.scale, pattern)
+        except OSError as exc:
+            print(f"cannot write to store {store.root}: {exc}", file=sys.stderr)
+            return 2
+        workspace = spectral_workspace(pattern)
+        workspace.laplacian()
+        workspace.components()
+        workspace.component_split()
+        # Per-component subpatterns carry their own workspaces; warm the
+        # nontrivial ones too (they are what the spectral ordering solves).
+        for _vertices, sub in workspace.component_split():
+            if sub is not None and sub is not pattern:
+                sub_ws = spectral_workspace(sub)
+                sub_ws.laplacian()
+                sub_ws.components()
+        print(f"  {spec.name}: n={pattern.n} prewarmed "
+              f"(pattern, laplacian, components, split)")
+    print(_store_stats_line(store))
+    return 1 if failures else 0
 
 
 def _cmd_spy(args) -> int:
@@ -728,6 +868,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "cheaper eigensolves; results on large problems "
                                    "are not byte-comparable with default-policy "
                                    "baselines")
+    suite_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="persistent artifact store directory: spill "
+                                   "Laplacians, component splits, hierarchies and "
+                                   "converged Fiedler vectors there and reload them "
+                                   "across runs and worker processes (exported as "
+                                   "REPRO_STORE; results are byte-identical with "
+                                   "the store on or off)")
     suite_parser.add_argument("--baseline", default=None,
                               help="diff against a saved results.json (exit 1 on drift)")
     suite_parser.add_argument("--progress", default=None, action=argparse.BooleanOptionalAction,
@@ -783,7 +930,45 @@ def build_parser() -> argparse.ArgumentParser:
                               help="'fast' times the spectral/eigen kernels under "
                                    "the rank-stability stopping rule; recorded in "
                                    "the artifact config")
+    bench_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="persistent artifact store directory shared "
+                                   "across repeats/runs (exported as REPRO_STORE); "
+                                   "note: warm structural artifacts change what a "
+                                   "timed kernel measures, so compare like against "
+                                   "like")
     bench_parser.set_defaults(func=_cmd_bench)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect and manage the persistent artifact store"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+
+    def _cache_store_option(sub_parser):
+        sub_parser.add_argument("--store", default=None, metavar="DIR",
+                                help="store directory (default: $REPRO_STORE)")
+
+    cache_ls = cache_sub.add_parser("ls", help="list the store's entries")
+    _cache_store_option(cache_ls)
+    cache_ls.set_defaults(func=_cmd_cache)
+    cache_info = cache_sub.add_parser(
+        "info", help="aggregate per-kind entry counts/bytes and process stats"
+    )
+    _cache_store_option(cache_info)
+    cache_info.add_argument("--json", action="store_true",
+                            help="machine-readable output (CI stats artifact)")
+    cache_info.set_defaults(func=_cmd_cache)
+    cache_prewarm = cache_sub.add_parser(
+        "prewarm", help="build problems' structural plans into the store"
+    )
+    cache_prewarm.add_argument("problems", nargs="*",
+                               help="registered problem names (default: all)")
+    cache_prewarm.add_argument("--scale", type=float, default=None,
+                               help="surrogate scale (default: registry default)")
+    _cache_store_option(cache_prewarm)
+    cache_prewarm.set_defaults(func=_cmd_cache)
+    cache_clear = cache_sub.add_parser("clear", help="delete every store entry")
+    _cache_store_option(cache_clear)
+    cache_clear.set_defaults(func=_cmd_cache)
 
     spy_parser = sub.add_parser("spy", help="ASCII structure plot under an ordering")
     spy_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")

@@ -146,8 +146,34 @@ def fiedler_vector(
         )
 
     resolved = _resolve_auto(n) if method == "auto" else method
-    laplacian = workspace.laplacian()
     rng = default_rng(rng)
+
+    # Persistent-store fast path: a converged eigensolve is cached keyed by
+    # the structure digest, the full solver configuration AND the rng state
+    # before the solve; the entry replays the solver's rng consumption on
+    # load, so a warm run returns the bit-identical vector and leaves the
+    # caller's random stream exactly where a cold run would.  Restricted to
+    # the repo-owned deterministic iterations (lanczos / multilevel).
+    store_slot = None
+    if resolved in ("lanczos", "multilevel"):
+        from repro.store import spectral as codecs
+        from repro.store.core import get_default_store
+
+        store = get_default_store()
+        if store is not None:
+            state_before = codecs.rng_state_json(rng)
+            if state_before is not None:
+                params = codecs.fiedler_params(
+                    resolved, tol, tol_policy, solver_options, state_before
+                )
+                if params is not None:
+                    digest = workspace.digest()
+                    cached = codecs.load_fiedler(store, digest, params, rng)
+                    if cached is not None:
+                        return cached
+                    store_slot = (store, digest, params)
+
+    laplacian = workspace.laplacian()
 
     if resolved == "dense":
         values, vectors = np.linalg.eigh(laplacian.toarray())
@@ -180,13 +206,24 @@ def fiedler_vector(
         raise AssertionError(resolved)
 
     vector = _canonical_sign(vector)
-    return FiedlerResult(
+    result = FiedlerResult(
         eigenvalue=float(eigenvalue),
         eigenvector=vector,
         method=resolved,
         residual_norm=float(residual),
         converged=bool(converged),
     )
+    if store_slot is not None and result.converged:
+        from repro.store import spectral as codecs
+
+        store, digest, params = store_slot
+        state_after = codecs.rng_state_json(rng)
+        if state_after is not None:
+            try:
+                codecs.save_fiedler(store, digest, params, result, state_after)
+            except OSError:
+                pass  # a read-only/full store must not fail the solve
+    return result
 
 
 def _fiedler_eigsh(laplacian, *, tol: float, rng, maxiter: int | None = None):

@@ -33,6 +33,14 @@ Memory: a workspace lives exactly as long as its pattern.  Hierarchy levels
 shrink geometrically, so the cached plan is a small constant factor of the
 pattern itself; dropping the pattern (e.g.
 :func:`repro.batch.engine.clear_problem_cache`) drops the plan with it.
+
+Persistence: when a default :mod:`repro.store` is configured (``--store`` /
+``REPRO_STORE``), each artifact is loaded from disk on first touch and
+spilled to disk on first build, so suite workers, bench repeats and future
+server processes share warm state across process boundaries.  Loaded
+artifacts are byte-identical to built ones (deterministic pure functions of
+the structure), so the warm-vs-cold identity above extends across processes;
+store I/O failures and corrupt entries silently fall back to building.
 """
 
 from __future__ import annotations
@@ -55,7 +63,7 @@ class SpectralWorkspace:
     """
 
     __slots__ = ("pattern", "info", "_laplacian", "_components", "_split",
-                 "_hierarchies")
+                 "_hierarchies", "_digest")
 
     def __init__(self, pattern):
         self.pattern = pattern
@@ -65,11 +73,40 @@ class SpectralWorkspace:
             "split_builds": 0, "split_hits": 0,
             "hierarchy_builds": 0, "hierarchy_hits": 0,
             "hierarchy_uncached": 0,
+            "store_loads": 0, "store_spills": 0,
         }
         self._laplacian = None
         self._components = None
         self._split = None
         self._hierarchies = {}
+        self._digest = None
+
+    # ------------------------------------------------------------------ #
+    # persistent store plumbing
+    # ------------------------------------------------------------------ #
+    def digest(self) -> str:
+        """Structural content digest of the pattern (memoized — it is the
+        address prefix of every persistent artifact of this workspace)."""
+        if self._digest is None:
+            from repro.store.spectral import pattern_digest
+
+            self._digest = pattern_digest(self.pattern)
+        return self._digest
+
+    def _store(self):
+        """The ambient :class:`repro.store.ArtifactStore`, or ``None``."""
+        from repro.store.core import get_default_store
+
+        return get_default_store()
+
+    def _spill(self, save, *args) -> None:
+        """Persist one artifact, swallowing I/O failures (a read-only or
+        full store directory must never fail the computation itself)."""
+        try:
+            save(*args)
+        except OSError:
+            return
+        self.info["store_spills"] += 1
 
     # ------------------------------------------------------------------ #
     # Laplacian
@@ -81,10 +118,24 @@ class SpectralWorkspace:
         across every solver invocation on this pattern.
         """
         if self._laplacian is None:
+            store = self._store()
+            if store is not None:
+                from repro.store import spectral as codecs
+
+                loaded = codecs.load_laplacian(store, self.digest())
+                if loaded is not None:
+                    self._laplacian = loaded
+                    self.info["store_loads"] += 1
+                    return self._laplacian
             from repro.graph.laplacian import laplacian_matrix
 
             self._laplacian = laplacian_matrix(self.pattern)
             self.info["laplacian_builds"] += 1
+            if store is not None:
+                from repro.store import spectral as codecs
+
+                self._spill(codecs.save_laplacian, store, self.digest(),
+                            self._laplacian)
         else:
             self.info["laplacian_hits"] += 1
         return self._laplacian
@@ -95,10 +146,24 @@ class SpectralWorkspace:
     def components(self):
         """``(num_components, labels)`` of the adjacency graph (cached)."""
         if self._components is None:
+            store = self._store()
+            if store is not None:
+                from repro.store import spectral as codecs
+
+                loaded = codecs.load_components(store, self.digest())
+                if loaded is not None:
+                    self._components = loaded
+                    self.info["store_loads"] += 1
+                    return self._components
             from repro.graph.components import connected_components
 
             self._components = connected_components(self.pattern)
             self.info["components_builds"] += 1
+            if store is not None:
+                from repro.store import spectral as codecs
+
+                self._spill(codecs.save_components, store, self.digest(),
+                            self._components[0], self._components[1])
         else:
             self.info["components_hits"] += 1
         return self._components
@@ -111,6 +176,15 @@ class SpectralWorkspace:
         their own workspaces (and degree caches) warm up across algorithms.
         """
         if self._split is None:
+            store = self._store()
+            if store is not None:
+                from repro.store import spectral as codecs
+
+                loaded = codecs.load_split(store, self.digest())
+                if loaded is not None:
+                    self._split = loaded
+                    self.info["store_loads"] += 1
+                    return self._split
             num_components, labels = self.components()
             split = []
             for c in range(num_components):
@@ -119,6 +193,10 @@ class SpectralWorkspace:
                 split.append((vertices, sub))
             self._split = split
             self.info["split_builds"] += 1
+            if store is not None:
+                from repro.store import spectral as codecs
+
+                self._spill(codecs.save_split, store, self.digest(), split)
         else:
             self.info["split_hits"] += 1
         return self._split
@@ -152,6 +230,17 @@ class SpectralWorkspace:
             return levels, [laplacian_matrix(lvl.coarse_pattern) for lvl in levels]
         cached = self._hierarchies.get(key)
         if cached is None:
+            store = self._store()
+            if store is not None:
+                from repro.store import spectral as codecs
+
+                levels = codecs.load_hierarchy(store, self.digest(), *key)
+                if levels is not None:
+                    cached = (levels,
+                              [laplacian_matrix(lvl.coarse_pattern) for lvl in levels])
+                    self._hierarchies[key] = cached
+                    self.info["store_loads"] += 1
+                    return cached
             levels = coarsening_hierarchy(
                 self.pattern, coarsest_size=coarsest_size,
                 max_levels=max_levels, rng=rng, strategy=strategy,
@@ -159,6 +248,11 @@ class SpectralWorkspace:
             cached = (levels, [laplacian_matrix(lvl.coarse_pattern) for lvl in levels])
             self._hierarchies[key] = cached
             self.info["hierarchy_builds"] += 1
+            if store is not None:
+                from repro.store import spectral as codecs
+
+                self._spill(codecs.save_hierarchy, store, self.digest(),
+                            key[0], key[1], key[2], levels)
         else:
             self.info["hierarchy_hits"] += 1
         return cached

@@ -461,6 +461,29 @@ class SymmetricPattern:
     # Patterns hold mutable arrays; keep them unhashable.
     __hash__ = None
 
+    # ------------------------------------------------------------------ #
+    # pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        """Pickle only the structure, never the lazy caches.
+
+        The default ``__slots__`` reduction would drag the attached
+        :class:`~repro.eigen.workspace.SpectralWorkspace` (Laplacians, whole
+        coarsening hierarchies) across process boundaries and resurrect it on
+        a *different* pattern object — stale by identity and enormous on the
+        wire.  A deserialized pattern starts with fresh, empty caches, the
+        same contract as :meth:`copy`/:meth:`permute`/:meth:`subpattern`.
+        """
+        return (self.n, self.indptr, self.indices)
+
+    def __setstate__(self, state):
+        n, indptr, indices = state
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        self._degrees = None
+        self._workspace = None
+
     def __repr__(self) -> str:
         return (
             f"SymmetricPattern(n={self.n}, edges={self.num_edges}, "

@@ -11,6 +11,7 @@ from repro.utils.validation import (
     check_symmetric_structure,
     require_positive_int,
 )
+from repro.utils.atomic import atomic_output_file, atomic_write_bytes, atomic_write_text
 from repro.utils.timing import Timer, timed
 from repro.utils.rng import default_rng
 
@@ -19,6 +20,9 @@ __all__ = [
     "check_square",
     "check_symmetric_structure",
     "require_positive_int",
+    "atomic_output_file",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "Timer",
     "timed",
     "default_rng",

@@ -1,0 +1,85 @@
+"""Crash-safe file replacement: write-tempfile-then-``os.replace``.
+
+Every artifact the repo persists and later reads back — cost models, suite
+results, bench artifacts, store entries — must never be observable in a
+half-written state: a run killed mid-write (SIGKILL, OOM, power loss) that
+leaves a truncated JSON file behind makes the *next* run fail on a decode
+error, which is exactly the crash class the JSONL stream was built to
+survive.  These helpers close that hole for whole-file writes:
+
+* the payload is written to a temporary file **in the destination
+  directory** (same filesystem, so the final rename cannot degrade to a
+  copy), flushed and fsynced;
+* ``os.replace`` then installs it under the final name — atomic on POSIX
+  and on modern Windows.
+
+A reader therefore sees either the complete old content or the complete new
+content, never a prefix.  A crash between the two steps leaves only a
+``*.tmp*`` droppings file next to the destination, which readers ignore.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_bytes", "atomic_output_file"]
+
+
+@contextmanager
+def atomic_output_file(path, suffix: str = ""):
+    """Context manager yielding a temporary path that replaces *path* on exit.
+
+    The temporary file lives in ``path``'s directory (created if needed) and
+    carries *suffix* (some writers — ``numpy.savez`` — append their own
+    extension unless the name already has it).  On clean exit the temporary
+    file is fsynced and atomically renamed onto *path*; on an exception it is
+    removed and *path* is left untouched.
+
+    >>> import json, tempfile
+    >>> target = Path(tempfile.mkdtemp()) / "out.json"
+    >>> with atomic_output_file(target) as tmp:
+    ...     _ = Path(tmp).write_text(json.dumps({"ok": True}))
+    >>> json.loads(target.read_text())
+    {'ok': True}
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.tmp", suffix=suffix, dir=path.parent
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        yield tmp
+        # Flush file content to disk before the rename becomes visible, so a
+        # crash straight after the replace cannot surface an empty file.
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path, data: bytes) -> Path:
+    """Atomically write *data* to *path*; returns the path."""
+    path = Path(path)
+    with atomic_output_file(path) as tmp:
+        tmp.write_bytes(data)
+    return path
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> Path:
+    """Atomically write *text* to *path*; returns the path.
+
+    Drop-in replacement for ``Path.write_text`` on every persistence path
+    whose output a later run reads — a kill at any instant leaves either the
+    previous complete file or the new complete file, never a truncation.
+    """
+    return atomic_write_bytes(path, text.encode(encoding))

@@ -1,0 +1,164 @@
+"""Crash injection across every persistence path a later run reads.
+
+A run killed mid-write must leave behind either a complete old file (atomic
+replace) or damage the readers report cleanly: truncated cost models,
+results artifacts and bench baselines exit 2 with a message — never a
+``json.decoder.JSONDecodeError`` traceback — and a stream killed during its
+very first (header) write resumes as an empty stream, not "corrupt".
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch import CostModel, TruncatedStreamError, read_stream, run_suite
+from repro.cli import main
+from repro.store import reset_default_store
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    reset_default_store()
+    yield
+    reset_default_store()
+
+
+def _truncated_copy(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text[: len(text) // 2])
+    return path
+
+
+SUITE_ARGS = ["suite", "POW9", "--algorithms", "rcm", "--scale", "0.05",
+              "--jobs", "1", "--no-progress"]
+
+
+class TestTruncatedJSONInputs:
+    def test_truncated_cost_model_exits_2(self, tmp_path, capsys):
+        model = CostModel()
+        model.observe("POW9", "rcm", 0.05, 0.5)
+        whole = tmp_path / "costs.json"
+        model.save(whole)
+        damaged = _truncated_copy(tmp_path, "costs-cut.json", whole.read_text())
+        code = main(SUITE_ARGS + ["--cost-model", str(damaged)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "costs-cut.json" in err
+        assert "Traceback" not in err
+
+    def test_truncated_baseline_artifact_exits_2(self, tmp_path, capsys):
+        suite = run_suite(["POW9"], algorithms=["rcm"], scale=0.05)
+        whole = tmp_path / "base.json"
+        suite.save(whole)
+        damaged = _truncated_copy(tmp_path, "base-cut.json", whole.read_text())
+        code = main(SUITE_ARGS + ["--baseline", str(damaged)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "base-cut.json" in err
+        assert "Traceback" not in err
+
+    def test_truncated_bench_baseline_exits_2(self, tmp_path, capsys):
+        damaged = _truncated_copy(
+            tmp_path, "bench-cut.json",
+            json.dumps({"schema": "bench/1", "results": [{"name": "k"}]}, indent=2),
+        )
+        code = main(["bench", "--quick", "--against", str(damaged),
+                     "--output", str(tmp_path / "out.json")])
+        assert code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_truncated_merge_input_exits_2(self, tmp_path, capsys):
+        suite = run_suite(["POW9"], algorithms=["rcm"], scale=0.05)
+        whole = tmp_path / "shard.json"
+        suite.save(whole)
+        damaged = _truncated_copy(tmp_path, "shard-cut.json", whole.read_text())
+        code = main(["merge", str(damaged), "--output", str(tmp_path / "m.json")])
+        assert code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+
+class TestKilledDuringHeaderWrite:
+    """The stream file a run killed during its first write leaves behind."""
+
+    def test_empty_stream_reports_resumable(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        with pytest.raises(TruncatedStreamError, match="killed before"):
+            read_stream(path)
+
+    def test_partial_header_line_reports_resumable(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "header", "schema_ver')  # no newline, cut mid-key
+        with pytest.raises(TruncatedStreamError, match="no complete line"):
+            read_stream(path)
+
+    def test_wrong_first_line_is_still_corruption(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "record"}\n')
+        with pytest.raises(ValueError, match="does not start with a header"):
+            read_stream(path)
+        with pytest.raises(TruncatedStreamError):
+            # but only the resumable flavour is the new subclass
+            raise TruncatedStreamError("x")
+
+    @pytest.mark.parametrize("content", ["", '{"kind": "hea'])
+    def test_cli_resume_starts_fresh(self, tmp_path, content, capsys):
+        stream = tmp_path / "run.jsonl"
+        stream.write_text(content)
+        code = main(SUITE_ARGS + ["--resume", str(stream),
+                                  "--stream-output", str(stream),
+                                  "--output", str(tmp_path / "out.json")])
+        captured = capsys.readouterr()
+        assert code == 0
+        # the condition was reported, the run proceeded, the sink is whole
+        assert "run.jsonl" in captured.err
+        header, records = read_stream(stream)
+        assert header["kind"] == "header"
+        assert len(records) == 1
+        assert (tmp_path / "out.json").exists()
+
+    def test_cli_resume_still_rejects_real_corruption(self, tmp_path, capsys):
+        stream = tmp_path / "run.jsonl"
+        stream.write_text('{"kind": "record", "bogus": 1}\n{"kind": "record"}\n')
+        code = main(SUITE_ARGS + ["--resume", str(stream)])
+        assert code == 2
+        assert "does not start with a header" in capsys.readouterr().err
+
+
+class TestAtomicPersistenceWriters:
+    """The migrated writers leave no partial file behind, ever."""
+
+    def test_cost_model_save_replaces_atomically(self, tmp_path, monkeypatch):
+        import os as _os
+
+        path = tmp_path / "costs.json"
+        model = CostModel()
+        model.observe("POW9", "rcm", 0.05, 0.5)
+        model.save(path)
+        before = path.read_text()
+
+        def killed(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(_os, "replace", killed)
+        model.observe("POW9", "rcm", 0.05, 0.9)
+        with pytest.raises(KeyboardInterrupt):
+            model.save(path)
+        monkeypatch.undo()
+        assert path.read_text() == before  # old model intact, no half-file
+        assert [p.name for p in tmp_path.iterdir()] == ["costs.json"]
+        assert len(CostModel.from_file(path)) == 1
+
+    def test_suite_and_bench_writers_leave_no_temp_droppings(self, tmp_path):
+        from repro.bench.harness import save_bench
+
+        suite = run_suite(["POW9"], algorithms=["rcm"], scale=0.05)
+        suite.save(tmp_path / "results.json")
+        save_bench({"schema": "bench/1", "results": []}, tmp_path / "bench.json")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["bench.json", "results.json"]
+        json.loads((tmp_path / "results.json").read_text())
+        json.loads((tmp_path / "bench.json").read_text())
