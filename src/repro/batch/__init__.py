@@ -35,11 +35,13 @@ or from the command line::
 
 from repro.batch.engine import (
     clear_problem_cache,
+    crash_record,
     execute_task,
     iter_suite,
     problem_cache_info,
     run_suite,
     task_options,
+    timeout_record,
 )
 from repro.batch.results import (
     READ_COMPAT_VERSIONS,
@@ -60,12 +62,20 @@ from repro.batch.sched import (
 from repro.batch.stream import (
     StreamWriter,
     TruncatedStreamError,
+    read_jsonl_objects,
     read_stream,
     stream_header,
     suite_from_stream,
     validate_stream_header,
 )
-from repro.batch.tasks import BatchTask, build_tasks, derive_seed, parse_shard, shard_tasks
+from repro.batch.tasks import (
+    BatchTask,
+    build_task,
+    build_tasks,
+    derive_seed,
+    parse_shard,
+    shard_tasks,
+)
 
 __all__ = [
     "BatchTask",
@@ -79,8 +89,10 @@ __all__ = [
     "TruncatedStreamError",
     "TaskRecord",
     "auto_timeout",
+    "build_task",
     "build_tasks",
     "clear_problem_cache",
+    "crash_record",
     "dedupe_records",
     "derive_seed",
     "execute_task",
@@ -90,11 +102,13 @@ __all__ = [
     "order_longest_first",
     "parse_shard",
     "plan_shards",
+    "read_jsonl_objects",
     "read_stream",
     "run_suite",
     "shard_tasks",
     "stream_header",
     "suite_from_stream",
     "task_options",
+    "timeout_record",
     "validate_stream_header",
 ]

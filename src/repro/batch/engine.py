@@ -57,10 +57,12 @@ from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
 from repro.utils.timing import Timer
 
 __all__ = [
+    "crash_record",
     "execute_task",
     "iter_suite",
     "run_suite",
     "task_options",
+    "timeout_record",
     "problem_cache_info",
     "clear_problem_cache",
 ]
@@ -184,7 +186,7 @@ def execute_task(task: BatchTask, pattern=None, capture_errors: bool = True) -> 
         )
 
 
-def _timeout_record(task: BatchTask, timeout: float) -> TaskRecord:
+def timeout_record(task: BatchTask, timeout: float) -> TaskRecord:
     """The structured record of a task terminated by the per-task timeout."""
     return TaskRecord(
         problem=task.problem,
@@ -200,7 +202,7 @@ def _timeout_record(task: BatchTask, timeout: float) -> TaskRecord:
     )
 
 
-def _crash_record(task: BatchTask, detail: str) -> TaskRecord:
+def crash_record(task: BatchTask, detail: str) -> TaskRecord:
     """The structured record of a worker that died without reporting back."""
     return TaskRecord(
         problem=task.problem,
@@ -268,10 +270,10 @@ def _iter_with_timeout(tasks, n_jobs: int, timeout_for):
                     try:
                         record = receiver.recv()
                     except (EOFError, OSError) as exc:
-                        record = _crash_record(task, f"{type(exc).__name__}")
+                        record = crash_record(task, f"{type(exc).__name__}")
                 elif now >= deadline:
                     process.terminate()
-                    record = _timeout_record(task, limit)
+                    record = timeout_record(task, limit)
                 else:
                     continue
                 del running[receiver]

@@ -45,6 +45,7 @@ from repro.batch.results import (
 __all__ = [
     "StreamWriter",
     "TruncatedStreamError",
+    "read_jsonl_objects",
     "read_stream",
     "stream_header",
     "suite_from_stream",
@@ -179,22 +180,27 @@ class StreamWriter:
         self.close()
 
 
-def read_stream(path) -> tuple[dict, list[TaskRecord]]:
-    """Read a stream file back: ``(header, records)``.
+def read_jsonl_objects(path) -> list[dict]:
+    """Parse a JSONL file into its complete object lines, tolerating exactly
+    the damage a killed appender can cause.
 
-    Tolerates exactly the damage a killed run can cause — a truncated last
-    line — and rejects anything else (missing or malformed header, garbage
-    in the middle) as a corrupt file.
+    The shared tolerant reader behind :func:`read_stream` (``--resume``) and
+    the ``repro serve`` job journal.  A killed process's final ``write`` may
+    have flushed any prefix of its last line — including, on some
+    filesystems, a prefix followed by stray newline bytes from a torn
+    buffered write — so the **final non-blank line** being malformed JSON is
+    treated as that truncated tail and dropped, wherever trailing blank
+    lines put it.  A malformed line with complete lines after it is genuine
+    corruption and raises.
 
     Raises
     ------
     TruncatedStreamError
-        When the file holds no complete line at all — empty, or killed
-        during the first (header) write.  The file carries no records, so
-        callers may treat this as "nothing to resume" and start fresh.
+        When the file holds no complete line at all (empty, or killed
+        during its very first write) — the *resumable* flavour of damage.
     ValueError
-        When the file does not start with a header line or has a malformed
-        line anywhere but the end (genuine corruption — not resumable).
+        When any line other than the final non-blank one is malformed, or a
+        complete line is not a JSON object (genuine corruption).
     OSError
         When the file cannot be read at all.
     """
@@ -204,6 +210,10 @@ def read_stream(path) -> tuple[dict, list[TaskRecord]]:
             f"stream file {path} is empty (no records to resume; "
             f"the previous run was killed before its header write completed)"
         )
+    last_content = max(
+        (number for number, line in enumerate(lines, start=1) if line.strip()),
+        default=0,
+    )
     parsed = []
     for number, line in enumerate(lines, start=1):
         if not line.strip():
@@ -211,7 +221,7 @@ def read_stream(path) -> tuple[dict, list[TaskRecord]]:
         try:
             payload = json.loads(line)
         except json.JSONDecodeError:
-            if number == len(lines):
+            if number == last_content:
                 break  # truncated final write of a killed run
             raise ValueError(
                 f"stream file {path} is corrupt: malformed JSON on line "
@@ -225,13 +235,36 @@ def read_stream(path) -> tuple[dict, list[TaskRecord]]:
         parsed.append(payload)
     if not parsed:
         # Every line was blank or a truncated final write: the signature of
-        # a run killed during its very first (header) write.  No records
-        # were lost, so report a resumable condition, not corruption.
+        # a process killed during its very first write.  Nothing was lost,
+        # so report the resumable flavour of damage, not corruption.
         raise TruncatedStreamError(
-            f"stream file {path} has no complete line (the previous run was "
-            f"killed during its header write); no records to resume — "
-            f"starting fresh is safe"
+            f"stream file {path} has no complete line (the previous writer "
+            f"was killed during its first write); starting fresh is safe"
         )
+    return parsed
+
+
+def read_stream(path) -> tuple[dict, list[TaskRecord]]:
+    """Read a stream file back: ``(header, records)``.
+
+    Tolerates exactly the damage a killed run can cause — a truncated final
+    line, wherever trailing blank lines leave it (see
+    :func:`read_jsonl_objects`) — and rejects anything else (missing or
+    malformed header, garbage in the middle) as a corrupt file.
+
+    Raises
+    ------
+    TruncatedStreamError
+        When the file holds no complete line at all — empty, or killed
+        during the first (header) write.  The file carries no records, so
+        callers may treat this as "nothing to resume" and start fresh.
+    ValueError
+        When the file does not start with a header line or has a malformed
+        line anywhere but the end (genuine corruption — not resumable).
+    OSError
+        When the file cannot be read at all.
+    """
+    parsed = read_jsonl_objects(path)
     if parsed[0].get("kind") != "header":
         raise ValueError(
             f"stream file {path} does not start with a header line"

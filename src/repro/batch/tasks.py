@@ -36,7 +36,14 @@ from dataclasses import dataclass, field
 from repro.collections.registry import PAPER_PROBLEMS
 from repro.orderings.registry import ORDERING_ALGORITHMS
 
-__all__ = ["BatchTask", "build_tasks", "derive_seed", "parse_shard", "shard_tasks"]
+__all__ = [
+    "BatchTask",
+    "build_task",
+    "build_tasks",
+    "derive_seed",
+    "parse_shard",
+    "shard_tasks",
+]
 
 
 def derive_seed(base_seed: int, problem: str, algorithm: str) -> int:
@@ -87,6 +94,63 @@ class BatchTask:
     index: int = 0
 
 
+def build_task(
+    problem: str,
+    algorithm: str,
+    *,
+    scale: float | None = None,
+    options: dict | None = None,
+    base_seed: int = 0,
+    seed: int | None = None,
+    index: int = 0,
+    check_problem: bool = True,
+) -> BatchTask:
+    """Build one ``(problem, algorithm)`` cell — the single-cell form of
+    :func:`build_tasks`, shared by the suite expansion, ``repro order`` and
+    the ``repro serve`` request path.
+
+    The cell is identical to the one :func:`build_tasks` would produce at
+    the same position: the problem name is normalized the same way and the
+    seed derives from ``(base_seed, problem, algorithm)`` alone, so a server
+    answering one cell and a suite run covering it compute byte-identical
+    records.  ``seed`` overrides the derivation for callers that carry an
+    explicit seed.  ``check_problem=False`` skips the registry check — the
+    direct-pattern path, where ``problem`` is an arbitrary case-sensitive label
+    (e.g. ``inline:<digest>``) and the structure is supplied to :func:`repro.batch.engine.execute_task`.
+
+    >>> build_task("pow9", "rcm") == build_tasks(["POW9"], ("rcm",))[0]
+    True
+
+    Raises
+    ------
+    ValueError
+        On an unknown algorithm, or an unknown problem when
+        ``check_problem`` is true.
+    """
+    problem = str(problem).strip()
+    if check_problem:
+        problem = problem.upper()
+    if check_problem and problem not in PAPER_PROBLEMS:
+        raise ValueError(
+            f"unknown problem(s) {[problem]}; "
+            f"available: {', '.join(sorted(PAPER_PROBLEMS))}"
+        )
+    algorithm = str(algorithm)
+    if algorithm not in ORDERING_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm(s) {[algorithm]}; "
+            f"available: {sorted(ORDERING_ALGORITHMS)}"
+        )
+    return BatchTask(
+        problem=problem,
+        algorithm=algorithm,
+        scale=scale,
+        seed=derive_seed(base_seed, problem, algorithm) if seed is None else int(seed),
+        options=dict(options or {}),
+        index=int(index),
+    )
+
+
 def build_tasks(
     problem_names,
     algorithms,
@@ -130,13 +194,14 @@ def build_tasks(
     for problem in problems:
         for algorithm in algorithms:
             tasks.append(
-                BatchTask(
-                    problem=problem,
-                    algorithm=algorithm,
+                build_task(
+                    problem,
+                    algorithm,
                     scale=scale,
-                    seed=derive_seed(base_seed, problem, algorithm),
-                    options=dict(algorithm_options.get(algorithm, {})),
+                    options=algorithm_options.get(algorithm, {}),
+                    base_seed=base_seed,
                     index=len(tasks),
+                    check_problem=False,  # the batch check above ran already
                 )
             )
     return tasks

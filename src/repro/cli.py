@@ -74,6 +74,30 @@ actually runs (full reference: ``docs/running.md``):
     and corrupt or stale entries read back as misses (see
     ``docs/performance.md`` for the content-addressing scheme).
 
+``serve``
+    Run the resident ordering-as-a-service HTTP/JSON API (see
+    ``docs/serving.md``)::
+
+        repro serve --port 8741 --workers 4 --queue-depth 16 \\
+            --timeout 120 --store ./cache --journal jobs.jsonl
+
+    Requests coalesce when identical, the queue is bounded (429 +
+    ``Retry-After`` past ``--queue-depth``), every cell gets the per-task
+    timeout treatment of the batch engine, and ``--store`` keeps warm
+    requests near cache speed across worker processes and restarts.
+
+``order``
+    Request one ordering — from a running server (``--server URL``) or, as
+    a fallback, computed in-process through the identical single-cell
+    core::
+
+        repro order problem:POW9@0.05 --algorithm rcm \\
+            --server http://127.0.0.1:8741
+        repro order matrix.mtx --algorithm spectral --json
+
+    Both paths produce byte-identical canonical records for the same
+    input, seed and algorithm — the server is the same engine, resident.
+
 ``spy``
     Print an ASCII structure plot of a matrix under a chosen ordering
     (the Figure 4.1-4.5 view).
@@ -740,6 +764,183 @@ def _cmd_cache(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig
+
+    _activate_store(args.store)
+    try:
+        kwargs = {} if args.max_inline_n is None else {"max_inline_n": args.max_inline_n}
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_queue=args.queue_depth,
+            timeout=args.timeout,
+            worker_mode=args.worker_mode,
+            journal=args.journal,
+            retry_after_s=args.retry_after,
+            read_timeout_s=args.read_timeout,
+            allow_delay=not args.no_debug_delay,
+            **kwargs,
+        )
+        asyncio.run(_serve_main(config))
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+async def _serve_main(config) -> None:
+    from repro.serve import OrderingServer
+
+    server = OrderingServer(config)
+    await server.start()
+    # The listening line is the boot handshake: tests and scripts that
+    # start the server with --port 0 parse the real port out of it.
+    print(f"repro serve: listening on http://{config.host}:{server.port} "
+          f"(workers={config.workers}, queue-depth={config.max_queue}, "
+          f"mode={config.worker_mode})", flush=True)
+    if config.journal:
+        print(f"repro serve: job journal at {config.journal} "
+              f"({server.replayed_jobs} finished job(s) replayed)", flush=True)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()
+
+
+def _order_request_payload(args) -> dict:
+    """The ``/v1/order`` JSON document of one ``repro order`` invocation.
+
+    ``problem:`` references travel as registry names (so the server's
+    problem cache and coalescing see them); file inputs are loaded locally
+    and travel as inline CSR — the exact structure, whatever the file
+    format, so the server computes on identical input.
+    """
+    payload: dict = {
+        "algorithm": args.algorithm,
+        "base_seed": args.base_seed,
+        "options": _algorithm_options(args),
+        "include_permutation": True,
+    }
+    if args.timeout_s is not None:
+        payload["timeout_s"] = args.timeout_s
+    if args.input.startswith("problem:"):
+        reference = args.input[len("problem:"):]
+        if "@" in reference:
+            name, scale_text = reference.split("@", 1)
+            payload["scale"] = float(scale_text)
+        else:
+            name = reference
+        payload["problem"] = name.strip().upper()
+    else:
+        pattern, _matrix, _label = _load_input(args.input)
+        payload["csr"] = {
+            "n": int(pattern.n),
+            "indptr": [int(i) for i in pattern.indptr],
+            "indices": [int(i) for i in pattern.indices],
+        }
+    return payload
+
+
+def _order_result_json(record_dict: dict, permutation) -> str:
+    import json
+
+    return json.dumps({"record": record_dict, "permutation": permutation},
+                      sort_keys=True)
+
+
+def _print_order_result(record_dict: dict, source: str) -> None:
+    metrics = record_dict.get("metrics") or {}
+    print(f"{record_dict['problem']}: {record_dict['algorithm']} ordering "
+          f"({source})")
+    print(f"  status        : {record_dict['status']}")
+    if record_dict["status"] == "ok":
+        print(f"  n / nnz       : {record_dict['n']:,} / {record_dict['nnz']:,}")
+        print(f"  envelope size : {metrics.get('envelope_size', 0):,}")
+        print(f"  envelope work : {metrics.get('envelope_work', 0):,}")
+        print(f"  bandwidth     : {metrics.get('bandwidth', 0):,}")
+        if "time_s" in record_dict:
+            print(f"  ordering time : {record_dict['time_s']:.3f} s")
+    else:
+        error = record_dict.get("error") or {}
+        print(f"  error         : {error.get('type')}: {error.get('message')}")
+
+
+def _cmd_order(args) -> int:
+    import numpy as _np
+
+    if args.server:
+        from repro.serve import ServerClient, ServerError
+
+        try:
+            payload = _order_request_payload(args)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {args.input}: {exc}", file=sys.stderr)
+            return 2
+        client = ServerClient(args.server, timeout=args.client_timeout)
+        try:
+            response = client.order(payload)
+        except ServerError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"cannot reach server {args.server}: {exc}", file=sys.stderr)
+            return 2
+        record_dict = response["record"]
+        permutation = response.get("permutation")
+        source = f"server {args.server}"
+    else:
+        from repro.batch import build_task, execute_task
+        from repro.serve import inline_label
+        from repro.store.spectral import pattern_digest
+
+        scale = None
+        if args.input.startswith("problem:"):
+            reference = args.input[len("problem:"):]
+            name, _, scale_text = reference.partition("@")
+            scale = float(scale_text) if scale_text else None
+            label, pattern = name.strip().upper(), None
+            registered = True
+        else:
+            try:
+                pattern, _matrix, _label = _load_input(args.input)
+            except (OSError, ValueError) as exc:
+                print(f"cannot load {args.input}: {exc}", file=sys.stderr)
+                return 2
+            label, registered = inline_label(pattern_digest(pattern)), False
+        try:
+            task = build_task(label, args.algorithm, scale=scale,
+                              options=_algorithm_options(args),
+                              base_seed=args.base_seed,
+                              check_problem=registered)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        record = execute_task(task, pattern=pattern)
+        record_dict = record.to_dict(include_timing=True)
+        permutation = ([int(p) for p in record.ordering.perm]
+                       if record.ok and record.ordering is not None else None)
+        source = "in-process"
+
+    if args.json:
+        print(_order_result_json(record_dict, permutation))
+    else:
+        _print_order_result(record_dict, source)
+    if args.output_permutation and permutation is not None:
+        _np.savetxt(args.output_permutation, _np.asarray(permutation), fmt="%d")
+        if not args.json:
+            print(f"  permutation written to {args.output_permutation}")
+    return 0 if record_dict.get("status") == "ok" else 1
+
+
 def _cmd_spy(args) -> int:
     pattern, _matrix, label = _load_input(args.input)
     perm = None
@@ -986,6 +1187,60 @@ def build_parser() -> argparse.ArgumentParser:
 
     problems_parser = sub.add_parser("problems", help="list the registered surrogate problems")
     problems_parser.set_defaults(func=_cmd_problems)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the resident ordering-as-a-service HTTP/JSON API"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8741,
+                              help="TCP port (0 = pick an ephemeral port)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="bounded worker pool size")
+    serve_parser.add_argument("--queue-depth", type=int, default=8,
+                              help="admission limit; beyond it requests shed with 429")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-task wall-clock cap in seconds")
+    serve_parser.add_argument("--worker-mode", default="subprocess",
+                              choices=["subprocess", "inline"],
+                              help="subprocess = killable isolation (default); "
+                                   "inline = warm in-process threads")
+    serve_parser.add_argument("--journal", default=None, metavar="PATH.jsonl",
+                              help="append finished jobs to this crash-tolerant JSONL journal")
+    serve_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="persistent artifact store shared with the workers")
+    serve_parser.add_argument("--retry-after", type=int, default=1,
+                              help="Retry-After header value on 429 responses")
+    serve_parser.add_argument("--read-timeout", type=float, default=30.0,
+                              help="seconds to wait for a complete request before 408")
+    serve_parser.add_argument("--max-inline-n", type=int, default=None,
+                              help="largest accepted inline/uploaded matrix order")
+    serve_parser.add_argument("--no-debug-delay", action="store_true",
+                              help="reject requests carrying the debug_delay_s test knob")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    order_parser = sub.add_parser(
+        "order", help="request one ordering from a repro serve instance (or in-process)"
+    )
+    order_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")
+    order_parser.add_argument(
+        "--algorithm", default="spectral", choices=sorted(ORDERING_ALGORITHMS)
+    )
+    order_parser.add_argument("--method", default=None, choices=FIEDLER_METHODS,
+                              help="eigensolver for the spectral/hybrid algorithms")
+    order_parser.add_argument("--server", default=None, metavar="URL",
+                              help="base URL of a running repro serve "
+                                   "(omit to compute in-process)")
+    order_parser.add_argument("--base-seed", type=int, default=0,
+                              help="suite-level base seed (per-task seed is derived)")
+    order_parser.add_argument("--timeout-s", type=float, default=None,
+                              help="per-request compute budget forwarded to the server")
+    order_parser.add_argument("--client-timeout", type=float, default=60.0,
+                              help="HTTP client socket timeout in seconds")
+    order_parser.add_argument("--json", action="store_true",
+                              help="print the canonical record + permutation as JSON")
+    order_parser.add_argument("--output-permutation", default=None,
+                              help="write the new-to-old permutation to this file")
+    order_parser.set_defaults(func=_cmd_order)
 
     return parser
 

@@ -1,0 +1,46 @@
+"""Ordering-as-a-service: the ``repro serve`` HTTP/JSON API.
+
+A resident asyncio process answering ordering requests over the same
+single-cell core as ``repro suite`` — warm across requests through the
+per-worker problem cache and the persistent ``--store`` artifact cache,
+bounded by a worker pool with per-task timeouts, coalescing identical
+in-flight requests, and shedding load with ``429 Retry-After`` under
+overload.  See ``docs/serving.md`` for the API reference and
+:mod:`repro.serve.app` for the architecture.
+
+Quick start::
+
+    repro serve --port 8741 --workers 4 --store ./cache &
+    repro order problem:POW9@0.05 --algorithm rcm --server http://127.0.0.1:8741
+
+or programmatically::
+
+    from repro.serve import OrderingServer, ServeConfig
+    server = OrderingServer(ServeConfig(port=0, workers=2))
+"""
+
+from repro.serve.api import OrderSpec, inline_label, parse_order_request
+from repro.serve.app import OrderingServer, ServeConfig
+from repro.serve.client import ServerClient, ServerError
+from repro.serve.jobs import Job, JobJournal, JobRegistry
+from repro.serve.pool import PoolSaturated, WorkerPool
+from repro.serve.protocol import ProtocolError, Request, json_response, read_request
+
+__all__ = [
+    "Job",
+    "JobJournal",
+    "JobRegistry",
+    "OrderSpec",
+    "OrderingServer",
+    "PoolSaturated",
+    "ProtocolError",
+    "Request",
+    "ServeConfig",
+    "ServerClient",
+    "ServerError",
+    "WorkerPool",
+    "inline_label",
+    "json_response",
+    "parse_order_request",
+    "read_request",
+]

@@ -1,0 +1,108 @@
+"""Stdlib HTTP client for a running ``repro serve`` instance.
+
+Used by ``repro order --server URL`` (the thin-client path) and by the
+server test layer.  Only :mod:`urllib.request` — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """A non-2xx server answer, carrying the decoded JSON body when present."""
+
+    def __init__(self, status: int, payload, headers=None):
+        message = status and f"server answered {status}"
+        if isinstance(payload, dict) and "error" in payload:
+            err = payload["error"] or {}
+            message = (f"server answered {status}: "
+                       f"{err.get('type', 'Error')}: {err.get('message', '')}")
+        super().__init__(message)
+        self.status = int(status)
+        self.payload = payload
+        self.headers = dict(headers or {})
+
+
+class ServerClient:
+    """Minimal JSON-over-HTTP client bound to one base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def request(self, method: str, path: str, payload=None):
+        """One JSON request; returns ``(status, headers, body)``.
+
+        4xx/5xx answers come back as return values (not exceptions) so
+        callers can inspect structured error bodies and headers like
+        ``Retry-After``.
+        """
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return (response.status, dict(response.headers),
+                        _decode(response.read()))
+        except urllib.error.HTTPError as exc:
+            with exc:
+                return exc.code, dict(exc.headers or {}), _decode(exc.read())
+
+    def _checked(self, method: str, path: str, payload=None, ok=(200, 202)):
+        status, headers, body = self.request(method, path, payload)
+        if status not in ok:
+            raise ServerError(status, body, headers)
+        return body
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+    def order(self, payload: dict) -> dict:
+        """``POST /v1/order``; raises :class:`ServerError` on non-2xx."""
+        return self._checked("POST", "/v1/order", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def poll_job(self, job_id: str, *, timeout: float = 60.0,
+                 interval: float = 0.05) -> dict:
+        """Poll ``GET /v1/jobs/<id>`` until the job reaches ``done``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] == "done":
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']!r} "
+                                   f"after {timeout:g} s")
+            time.sleep(interval)
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/statsz")
+
+    def algorithms(self) -> dict:
+        return self._checked("GET", "/v1/algorithms")
+
+
+def _decode(raw: bytes):
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {"raw": raw.decode("utf-8", "replace")}

@@ -1,0 +1,216 @@
+"""Bounded worker pool behind the ordering server.
+
+One :class:`WorkerPool` executes the cells the HTTP layer admits, reusing
+the batch engine's single-cell core (:func:`repro.batch.engine.execute_task`
+and its structured ``timeout``/``crash`` records) under an asyncio-friendly
+concurrency cap:
+
+* at most ``workers`` cells run at once (an :class:`asyncio.Semaphore`);
+* at most ``max_queue`` admitted cells may *wait* for a slot — admission
+  beyond that raises :class:`PoolSaturated`, which the server answers with
+  ``429 Retry-After`` (bounded queue = bounded memory = bounded latency);
+* in the default ``subprocess`` mode each cell runs in its own worker
+  process, so a cell that overruns its deadline is **terminated** (a
+  ``"timeout"`` record, exactly as ``repro suite --timeout`` produces) and
+  a worker that dies mid-cell (OOM kill, SIGKILL) surfaces as a structured
+  ``WorkerCrashed`` error record rather than a hang — the server maps those
+  to 504/500;
+* ``inline`` mode runs cells on threads inside the server process instead:
+  no kill capability, but the per-worker problem cache and memoized
+  ``SpectralWorkspace`` stay warm across requests in one process.  With a
+  persistent ``--store`` both modes serve warm requests from disk.
+
+Subprocess workers report their artifact-store traffic back through the
+result pipe; the pool aggregates it so ``/statsz`` can show cache
+hits/misses even though they accrue in short-lived children.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.batch.engine import crash_record, execute_task, timeout_record
+
+__all__ = ["PoolSaturated", "WorkerPool"]
+
+
+class PoolSaturated(Exception):
+    """Admission refused: the wait queue is at its configured depth."""
+
+    def __init__(self, queue_depth: int, max_queue: int):
+        super().__init__(
+            f"worker queue is full ({queue_depth} waiting, limit {max_queue})"
+        )
+        self.queue_depth = int(queue_depth)
+        self.max_queue = int(max_queue)
+
+
+def _cell_worker(task, pattern, delay_s, connection) -> None:
+    """Child-process entry point: run one cell, pipe back (record, store stats).
+
+    ``execute_task`` already captures algorithm exceptions as error records;
+    ``delay_s`` is the load-testing knob (sleep before computing, so tests
+    can hold a worker busy deterministically).
+    """
+    try:
+        if delay_s:
+            time.sleep(delay_s)
+        record = execute_task(task, pattern=pattern)
+        from repro.store.core import get_default_store
+
+        store = get_default_store()
+        stats = dict(store.stats) if store is not None else None
+        connection.send((record, stats))
+    finally:
+        connection.close()
+
+
+class WorkerPool:
+    """Bounded, observable executor of single ordering cells."""
+
+    def __init__(self, *, workers: int = 2, max_queue: int = 16,
+                 timeout: float | None = None, mode: str = "subprocess"):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if mode not in ("subprocess", "inline"):
+            raise ValueError(f"mode must be 'subprocess' or 'inline', got {mode!r}")
+        self.workers = int(workers)
+        self.max_queue = int(max_queue)
+        self.timeout = None if timeout is None else float(timeout)
+        self.mode = mode
+        self.queued = 0
+        self.busy = 0
+        self.completed = {"ok": 0, "error": 0, "timeout": 0, "crashed": 0}
+        self.store_stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        self.active_pids: dict[int, int] = {}
+        self._tokens = itertools.count(1)
+        self._semaphore = asyncio.Semaphore(self.workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve-worker"
+        )
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def reserve(self) -> None:
+        """Claim a queue slot for a new computation, or raise
+        :class:`PoolSaturated`.  Coalesced requests never reserve — they
+        piggyback on the primary's slot.
+
+        Admission is bounded on *total* unfinished work: up to ``workers``
+        cells running plus ``max_queue`` waiting.  ``max_queue=0`` therefore
+        means "never wait" — run immediately or shed — not "reject all".
+        """
+        if self.busy + self.queued >= self.workers + self.max_queue:
+            raise PoolSaturated(self.queued, self.max_queue)
+        self.queued += 1
+
+    def unreserve(self) -> None:
+        """Return a reservation that never ran (admission-time failures)."""
+        self.queued = max(0, self.queued - 1)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    async def run(self, task, pattern=None, *, timeout: float | None = None,
+                  delay_s: float = 0.0):
+        """Execute one reserved cell; always returns a :class:`TaskRecord`.
+
+        The effective deadline is the smaller of the server-wide limit and
+        the request's own ``timeout_s``; ``delay_s`` extends it (the sleep
+        is instrumentation, not work).  The caller must have called
+        :meth:`reserve` first.
+        """
+        try:
+            await self._semaphore.acquire()
+        except BaseException:
+            self.unreserve()
+            raise
+        self.queued -= 1
+        self.busy += 1
+        try:
+            limits = [t for t in (self.timeout, timeout) if t is not None]
+            limit = min(limits) if limits else None
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._executor, self._run_blocking, task, pattern, limit, delay_s
+            )
+        finally:
+            self.busy -= 1
+            self._semaphore.release()
+
+    def _run_blocking(self, task, pattern, limit, delay_s):
+        if self.mode == "inline":
+            if delay_s:
+                time.sleep(delay_s)
+            record = execute_task(task, pattern=pattern)
+        else:
+            record = self._run_subprocess(task, pattern, limit, delay_s)
+        self._tally(record)
+        return record
+
+    def _run_subprocess(self, task, pattern, limit, delay_s):
+        context = multiprocessing.get_context()
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_cell_worker, args=(task, pattern, delay_s, sender), daemon=True
+        )
+        process.start()
+        sender.close()
+        token = next(self._tokens)
+        self.active_pids[token] = process.pid
+        try:
+            deadline = None if limit is None else limit + float(delay_s)
+            if receiver.poll(deadline):
+                try:
+                    record, stats = receiver.recv()
+                    if stats:
+                        for name in self.store_stats:
+                            self.store_stats[name] += int(stats.get(name, 0))
+                except (EOFError, OSError) as exc:
+                    record = crash_record(task, type(exc).__name__)
+            else:
+                process.terminate()
+                record = timeout_record(task, limit)
+        finally:
+            self.active_pids.pop(token, None)
+            receiver.close()
+            process.join()
+        return record
+
+    def _tally(self, record) -> None:
+        if record.status == "ok":
+            self.completed["ok"] += 1
+        elif record.status == "timeout":
+            self.completed["timeout"] += 1
+        elif (record.error or {}).get("type") == "WorkerCrashed":
+            self.completed["crashed"] += 1
+        else:
+            self.completed["error"] += 1
+
+    # ------------------------------------------------------------------ #
+    # observability / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """The ``/statsz`` view of the pool."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "busy": self.busy,
+            "queue_depth": self.queued,
+            "max_queue": self.max_queue,
+            "timeout_s": self.timeout,
+            "active_pids": sorted(self.active_pids.values()),
+            "completed": dict(self.completed),
+        }
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,257 @@
+"""Hand-rolled HTTP/1.1 request/response layer for ``repro serve``.
+
+The server speaks just enough HTTP for a JSON ordering API — request line,
+headers, ``Content-Length`` bodies, one response per connection — on top of
+plain :mod:`asyncio` streams, with **no dependencies beyond the stdlib**.
+Every way a client can hand us garbage is mapped to a structured
+:class:`ProtocolError` carrying the 4xx status to answer with; nothing a
+socket can deliver may ever take the server process down (the fuzz layer in
+``tests/test_serve_fuzz.py`` feeds hundreds of malformed byte streams and
+asserts exactly that).
+
+Hard limits (request line / header block / header count / body size) are
+enforced *while reading*, so an oversized request is rejected without
+buffering it.  Responses always carry ``Connection: close`` — the API is
+one-shot request/response, and closing keeps the connection state machine
+trivial (no pipelining, no keep-alive bookkeeping to fuzz).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_HEADER_COUNT",
+    "MAX_REQUEST_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "STATUS_REASONS",
+    "json_response",
+    "read_request",
+    "response_bytes",
+]
+
+#: Longest accepted request line (method + target + version).
+MAX_REQUEST_LINE_BYTES = 8192
+#: Longest accepted single header line.
+MAX_HEADER_BYTES = 16384
+#: Most headers accepted on one request.
+MAX_HEADER_COUNT = 100
+#: Default body cap; inline COO/CSR and MatrixMarket uploads must fit here.
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or unacceptable request, answered with ``status``.
+
+    ``error_type`` travels in the JSON error body so clients (and the fuzz
+    corpus assertions) can distinguish failure classes without parsing
+    prose.
+    """
+
+    def __init__(self, status: int, message: str, error_type: str = "BadRequest"):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+        self.error_type = str(error_type)
+
+    def to_payload(self) -> dict:
+        return {"error": {"type": self.error_type, "message": self.message}}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    version: str
+    headers: dict = field(default_factory=dict)  # lower-cased name -> value
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """The target without its query string."""
+        return self.target.split("?", 1)[0]
+
+    def json(self):
+        """The body decoded as a JSON document.
+
+        Raises :class:`ProtocolError` (400) for invalid UTF-8 or invalid
+        JSON — the two malformed-body classes the API tests pin.
+        """
+        try:
+            text = self.body.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError(400, "request body is not valid UTF-8",
+                                "InvalidBody") from None
+        try:
+            return json.loads(text) if text.strip() else None
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}",
+                                "InvalidBody") from None
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int, what: str) -> bytes:
+    """Read one CRLF/LF-terminated line, bounding its length.
+
+    Returns ``b""`` on a clean EOF before any byte; raises
+    :class:`ProtocolError` when the line overruns ``limit`` or the peer
+    hangs up mid-line.
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(431, f"{what} exceeds {limit} bytes",
+                            "HeaderTooLarge") from None
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""
+        raise ProtocolError(400, f"connection closed mid-{what}",
+                            "TruncatedRequest") from None
+    if len(line) > limit:
+        raise ProtocolError(431, f"{what} exceeds {limit} bytes",
+                            "HeaderTooLarge")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Request | None:
+    """Read and parse one HTTP/1.1 request from a stream.
+
+    Returns ``None`` when the client closed the connection without sending
+    anything (a health-checker's connect-and-close probe).  All malformed
+    input raises :class:`ProtocolError` with the right 4xx/501 status:
+    garbage request lines, non-ASCII or colon-less headers, conflicting
+    duplicate ``Content-Length`` headers, non-integer or negative lengths,
+    ``Transfer-Encoding`` (not implemented — the API needs none), oversized
+    headers or bodies, and bodies cut off before ``Content-Length`` bytes
+    arrived.
+    """
+    raw = await _read_line(reader, MAX_REQUEST_LINE_BYTES, "request line")
+    if not raw:
+        return None
+    try:
+        request_line = raw.decode("ascii").strip()
+    except UnicodeDecodeError:
+        raise ProtocolError(400, "request line is not ASCII",
+                            "MalformedRequestLine") from None
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line: {request_line[:80]!r}",
+                            "MalformedRequestLine")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(400, f"unsupported protocol version {version!r}",
+                            "MalformedRequestLine")
+
+    headers: dict[str, str] = {}
+    header_lines = 0
+    while True:
+        raw = await _read_line(reader, MAX_HEADER_BYTES, "header line")
+        if not raw:
+            raise ProtocolError(400, "connection closed inside the header block",
+                                "TruncatedRequest")
+        if raw in (b"\r\n", b"\n"):
+            break
+        # Count lines, not distinct names: duplicate identical headers
+        # collapse in the dict but must not stream past the limit.
+        header_lines += 1
+        if header_lines > MAX_HEADER_COUNT:
+            raise ProtocolError(431, f"more than {MAX_HEADER_COUNT} headers",
+                                "HeaderTooLarge")
+        try:
+            text = raw.decode("ascii").strip()
+        except UnicodeDecodeError:
+            raise ProtocolError(400, "header line is not ASCII",
+                                "MalformedHeader") from None
+        name, sep, value = text.partition(":")
+        if not sep or not name or name != name.strip() or " " in name:
+            raise ProtocolError(400, f"malformed header line: {text[:80]!r}",
+                                "MalformedHeader")
+        key, value = name.lower(), value.strip()
+        if key in headers and headers[key] != value:
+            if key == "content-length":
+                raise ProtocolError(400, "conflicting Content-Length headers",
+                                    "MalformedHeader")
+            headers[key] = f"{headers[key]},{value}"
+        else:
+            headers[key] = value
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(501, "Transfer-Encoding is not supported "
+                                 "(send a Content-Length body)",
+                            "NotImplemented")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, "Content-Length is not an integer",
+                                "MalformedHeader") from None
+        if length < 0:
+            raise ProtocolError(400, "Content-Length is negative",
+                                "MalformedHeader")
+        if length > max_body_bytes:
+            raise ProtocolError(413, f"request body of {length} bytes exceeds "
+                                     f"the {max_body_bytes}-byte limit",
+                                "BodyTooLarge")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise ProtocolError(
+                    400,
+                    f"request body truncated: Content-Length said {length} "
+                    f"bytes but only {len(exc.partial)} arrived",
+                    "TruncatedRequest",
+                ) from None
+    return Request(method=method.upper(), target=target, version=version,
+                   headers=headers, body=body)
+
+
+def response_bytes(status: int, body: bytes, *,
+                   content_type: str = "application/json",
+                   extra_headers: dict | None = None) -> bytes:
+    """Serialize one complete ``Connection: close`` HTTP/1.1 response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body
+
+
+def json_response(status: int, payload, *, extra_headers: dict | None = None) -> bytes:
+    """Serialize a JSON response (sorted keys, trailing newline)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response_bytes(status, body, extra_headers=extra_headers)

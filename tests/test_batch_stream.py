@@ -117,6 +117,43 @@ class TestStreamFile:
         _header_read, records = read_stream(path)
         assert len(records) == len(suite.records) - 1
 
+    def test_truncated_final_line_with_trailing_blanks_ignored(self, tmp_path):
+        # Regression: the tolerance used to compare against the count of
+        # *physical* lines, so a truncated record followed by trailing
+        # blank/whitespace lines (a killed writer's tail) read as mid-file
+        # corruption instead of resuming.
+        path = tmp_path / "run.jsonl"
+        suite = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        with StreamWriter(path, _header()) as writer:
+            for record in suite.records:
+                writer.write_record(record)
+        text = path.read_text()
+        path.write_text(text[:-40] + "\n   \n\n")
+        _header_read, records = read_stream(path)
+        assert len(records) == len(suite.records) - 1
+
+    def test_read_jsonl_objects_tolerates_only_the_tail(self, tmp_path):
+        from repro.batch import read_jsonl_objects
+        from repro.batch.stream import TruncatedStreamError
+
+        path = tmp_path / "lines.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"c": 3')  # mid-record kill
+        assert read_jsonl_objects(path) == [{"a": 1}, {"b": 2}]
+
+        path.write_text('{"a": 1}\n{"b": 2')
+        assert read_jsonl_objects(path) == [{"a": 1}]
+
+        path.write_text('{"a": 1\n{"b": 2}\n')  # damage NOT at the tail
+        with pytest.raises(ValueError, match="corrupt"):
+            read_jsonl_objects(path)
+
+        path.write_text("")
+        with pytest.raises(TruncatedStreamError):
+            read_jsonl_objects(path)
+        path.write_text('{"a": 1')  # no complete line at all
+        with pytest.raises(TruncatedStreamError):
+            read_jsonl_objects(path)
+
     def test_append_after_truncation_drops_partial_line(self, tmp_path):
         path = tmp_path / "run.jsonl"
         suite = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)

@@ -198,3 +198,67 @@ class TestRetrySubprocess:
         assert proc.returncode == 0, proc.stderr
         payload = json.loads(out.read_text())
         assert [r["status"] for r in payload["records"]] == ["ok"] * 4
+
+
+class TestOrderSubprocess:
+    """The ``repro order`` thin client — in-process fallback and server mode."""
+
+    def test_order_local_json(self):
+        proc = repro("order", "problem:POW9@0.02", "--algorithm", "rcm",
+                     "--json")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["record"]["status"] == "ok"
+        assert payload["record"]["problem"] == "POW9"
+        assert sorted(payload["permutation"]) == \
+            list(range(payload["record"]["n"]))
+
+    def test_order_human_summary_and_permutation_file(self, tmp_path):
+        perm = tmp_path / "perm.txt"
+        proc = repro("order", "problem:POW9@0.02", "--algorithm", "gps",
+                     "--output-permutation", str(perm))
+        assert proc.returncode == 0, proc.stderr
+        assert "envelope size" in proc.stdout
+        assert perm.exists() and perm.read_text().strip()
+
+    def test_order_unknown_problem_exits_2(self):
+        proc = repro("order", "problem:NOSUCH", "--algorithm", "rcm")
+        assert proc.returncode == 2
+        assert "unknown problem" in proc.stderr
+
+    def test_order_server_matches_local_byte_for_byte(self):
+        from tests.serve_harness import ServerProcess
+
+        local = repro("order", "problem:POW9@0.02", "--algorithm", "rcm",
+                      "--json")
+        assert local.returncode == 0, local.stderr
+        with ServerProcess("--workers", "1") as server:
+            served = repro("order", "problem:POW9@0.02", "--algorithm", "rcm",
+                           "--server", server.url, "--json")
+        assert served.returncode == 0, served.stderr
+        a, b = json.loads(local.stdout), json.loads(served.stdout)
+        a["record"].pop("time_s"), b["record"].pop("time_s")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_order_file_input_round_trips_inline(self, tmp_path):
+        from tests.serve_harness import ServerProcess
+
+        matrix = tmp_path / "small.mtx"
+        assert repro("reorder", "problem:POW9@0.02", "--algorithm", "identity",
+                     "--output-matrix", str(matrix)).returncode == 0
+        with ServerProcess("--workers", "1") as server:
+            served = repro("order", str(matrix), "--algorithm", "rcm",
+                           "--server", server.url, "--json")
+            local = repro("order", str(matrix), "--algorithm", "rcm", "--json")
+        assert served.returncode == 0, served.stderr
+        assert local.returncode == 0, local.stderr
+        a, b = json.loads(local.stdout), json.loads(served.stdout)
+        assert a["record"]["problem"].startswith("inline:")
+        a["record"].pop("time_s"), b["record"].pop("time_s")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_order_unreachable_server_exits_2(self):
+        proc = repro("order", "problem:POW9@0.02", "--algorithm", "rcm",
+                     "--server", "http://127.0.0.1:9", "--client-timeout", "2")
+        assert proc.returncode == 2
+        assert "cannot reach server" in proc.stderr

@@ -1,0 +1,246 @@
+"""Fuzzing layer for the ``repro serve`` request parser and API validation.
+
+Feeds one server process several hundred hostile inputs on two fronts —
+
+* **raw bytes on the socket**: truncated requests (a sweep of cut points
+  through a valid request), random binary garbage, invalid UTF-8, duplicate
+  and conflicting headers, oversized request lines / headers / header
+  counts, absurd Content-Length values, unsupported Transfer-Encoding;
+* **well-formed HTTP carrying malformed JSON**: wrong types in every field,
+  broken COO/CSR structures (non-monotonic indptr, out-of-range indices,
+  mismatched arrays), garbage MatrixMarket / Harwell-Boeing uploads, and
+  JSON edge values (NaN/Infinity literals, nulls, deep nesting) —
+
+and pins the tentpole's hardening criterion: every answered case is a
+well-formed 4xx/501 response, and the server process survives the whole
+corpus (the final health check and a real ordering prove it).  The corpus
+is deterministic (seeded RNG) and at least 200 cases strong, asserted
+explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+
+import pytest
+
+from tests.serve_harness import ServerProcess
+
+#: Statuses a malformed raw-byte request may legally earn.  (200 is not in
+#: here: the corpus never contains a fully valid request.)
+RAW_OK_STATUSES = {400, 404, 405, 408, 413, 431, 501}
+
+#: A complete request whose body is malformed JSON — every proper prefix of
+#: it is a truncation case, the whole of it is an InvalidBody case.
+TEMPLATE = (b"POST /v1/order HTTP/1.1\r\n"
+            b"Host: fuzz\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 12\r\n"
+            b"\r\n"
+            b'{"algorithm')
+
+
+def raw_corpus() -> list[bytes]:
+    """The deterministic raw-byte corpus (>= 120 cases)."""
+    cases = [TEMPLATE[:cut] for cut in range(1, len(TEMPLATE), 1)]
+
+    rng = random.Random(0xBA52)
+    for size in (1, 8, 64, 512, 4096):
+        for _ in range(8):
+            cases.append(rng.randbytes(size))
+
+    structured = [
+        # request-line shapes
+        b"GET\r\n\r\n",
+        b"GET /healthz\r\n\r\n",
+        b"GET /healthz HTTP/1.1 extra\r\n\r\n",
+        b"GET /healthz SPDY/3\r\n\r\n",
+        b"GET /healthz HTTP/2.0\r\n\r\n",
+        b"G\xc3\x89T /healthz HTTP/1.1\r\n\r\n",
+        b"\r\n\r\n",
+        b" \r\n\r\n",
+        b"GET " + b"/" * 9000 + b" HTTP/1.1\r\n\r\n",
+        # header shapes
+        b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\n: empty-name\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\nBad Name: x\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\nX-\xff\xfe: binary\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\nX-Big: " + b"v" * 20000 + b"\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\n" + b"X-N: 1\r\n" * 150 + b"\r\n",
+        # Content-Length shapes
+        b"POST /v1/order HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        b"POST /v1/order HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+        b"POST /v1/order HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\nabcd",
+        b"POST /v1/order HTTP/1.1\r\nContent-Length: 67108864\r\n\r\n",
+        b"POST /v1/order HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+        b"POST /v1/order HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+        # body shapes on a complete envelope
+        b"POST /v1/order HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc",
+        b"POST /v1/order HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]",
+        b"POST /v1/order HTTP/1.1\r\nContent-Length: 4\r\n\r\nnull",
+    ]
+    cases.extend(structured)
+    return cases
+
+
+def payload_corpus() -> list[str]:
+    """Malformed ``/v1/order`` JSON bodies (>= 80 cases), as raw strings so
+    non-standard JSON literals (NaN/Infinity) can ride too."""
+    rcm = '"algorithm": "rcm"'
+    coo_ok = '"coo": {"n": 4, "rows": [0, 1], "cols": [1, 2]}'
+    documents = [
+        # top-level shapes
+        "null", "[]", '"rcm"', "123", "true", "{}",
+        '{"algorithm": null}', '{"algorithm": 7}', '{"algorithm": "amd"}',
+        '{"algorithm": ["rcm"]}', '{%s}' % rcm,  # no source
+        '{%s, "problem": "POW9", %s}' % (rcm, coo_ok),  # two sources
+        # field types
+        '{%s, %s, "options": "fast"}' % (rcm, coo_ok),
+        '{%s, %s, "options": {"x": {"y": [1, {"z": null}]}}}' % (rcm, coo_ok),
+        '{%s, %s, "mode": "batch"}' % (rcm, coo_ok),
+        '{%s, %s, "mode": 3}' % (rcm, coo_ok),
+        '{%s, %s, "include_permutation": "yes"}' % (rcm, coo_ok),
+        '{%s, %s, "base_seed": 1.5}' % (rcm, coo_ok),
+        '{%s, %s, "base_seed": "zero"}' % (rcm, coo_ok),
+        '{%s, %s, "seed": -1}' % (rcm, coo_ok),
+        '{%s, %s, "seed": 1.5}' % (rcm, coo_ok),
+        '{%s, %s, "timeout_s": 0}' % (rcm, coo_ok),
+        '{%s, %s, "timeout_s": -2}' % (rcm, coo_ok),
+        '{%s, %s, "timeout_s": "soon"}' % (rcm, coo_ok),
+        '{%s, %s, "timeout_s": NaN}' % (rcm, coo_ok),
+        '{%s, %s, "timeout_s": Infinity}' % (rcm, coo_ok),
+        '{%s, %s, "debug_delay_s": -1}' % (rcm, coo_ok),
+        '{%s, %s, "debug_delay_s": 3600}' % (rcm, coo_ok),
+        '{%s, %s, "scale": 0.5}' % (rcm, coo_ok),  # scale + inline source
+        '{%s, "problem": "POW9", "scale": 0}' % rcm,
+        '{%s, "problem": "POW9", "scale": -1}' % rcm,
+        '{%s, "problem": "POW9", "scale": "big"}' % rcm,
+        '{%s, "problem": 42}' % rcm,
+        '{%s, "problem": "NOSUCH"}' % rcm,
+        # COO abuse
+        '{%s, "coo": null}' % rcm,
+        '{%s, "coo": []}' % rcm,
+        '{%s, "coo": {}}' % rcm,
+        '{%s, "coo": {"n": "four", "rows": [], "cols": []}}' % rcm,
+        '{%s, "coo": {"n": -1, "rows": [], "cols": []}}' % rcm,
+        '{%s, "coo": {"n": 1000000000000, "rows": [], "cols": []}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": 7, "cols": [1]}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": [0], "cols": [1, 2]}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": [0.5], "cols": [1]}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": ["0"], "cols": [1]}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": [null], "cols": [1]}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": [true], "cols": [1]}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": [-1], "cols": [1]}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": [0], "cols": [4]}}' % rcm,
+        '{%s, "coo": {"n": 4, "rows": [[0]], "cols": [[1]]}}' % rcm,
+        # CSR abuse
+        '{%s, "csr": null}' % rcm,
+        '{%s, "csr": {}}' % rcm,
+        '{%s, "csr": {"n": 2, "indptr": "012", "indices": []}}' % rcm,
+        '{%s, "csr": {"n": 2, "indptr": [0, 1], "indices": [1, 0]}}' % rcm,
+        '{%s, "csr": {"n": 2, "indptr": [1, 1, 2], "indices": [0]}}' % rcm,
+        '{%s, "csr": {"n": 2, "indptr": [0, 2, 1], "indices": [1, 0, 0]}}' % rcm,
+        '{%s, "csr": {"n": 2, "indptr": [0, 1, 2], "indices": [5, 0]}}' % rcm,
+        '{%s, "csr": {"n": 2, "indptr": [0, 1, 2], "indices": [-1, 0]}}' % rcm,
+        '{%s, "csr": {"n": 2, "indptr": [0, 1, 2], "indices": [0.5, 0]}}' % rcm,
+        # upload abuse
+        '{%s, "matrix_market": null}' % rcm,
+        '{%s, "matrix_market": 9}' % rcm,
+        '{%s, "matrix_market": ""}' % rcm,
+        '{%s, "matrix_market": "hello world"}' % rcm,
+        '{%s, "matrix_market": "%%%%MatrixMarket matrix coordinate real general\\n"}' % rcm,
+        '{%s, "matrix_market": "%%%%MatrixMarket matrix coordinate real symmetric\\n3 3 1\\n"}' % rcm,
+        '{%s, "matrix_market": "%%%%MatrixMarket matrix coordinate real symmetric\\n3 3 1\\n9 9 1.0\\n"}' % rcm,
+        '{%s, "matrix_market": "%%%%MatrixMarket matrix coordinate real symmetric\\n3 3 1\\n1 1 abc\\n"}' % rcm,
+        '{%s, "matrix_market": "%%%%MatrixMarket matrix coordinate real symmetric\\n99999999999 99999999999 1\\n1 1 1.0\\n"}' % rcm,
+        '{%s, "harwell_boeing": null}' % rcm,
+        '{%s, "harwell_boeing": ""}' % rcm,
+        '{%s, "harwell_boeing": "TITLE"}' % rcm,
+        '{%s, "harwell_boeing": "garbage\\nmore garbage\\n1 2 3\\n"}' % rcm,
+    ]
+    # Random JSON-ish mutations of a valid document: deterministic
+    # truncations and byte swaps that stay syntactically invalid or
+    # semantically hostile.
+    valid = '{"algorithm": "rcm", "coo": {"n": 4, "rows": [0, 1], "cols": [1, 2]}}'
+    documents.extend(valid[:cut] for cut in range(1, len(valid) - 1, 3))
+    rng = random.Random(0xC0FFEE)
+    for _ in range(12):
+        chars = list(valid)
+        for _ in range(rng.randint(1, 4)):
+            chars[rng.randrange(len(chars))] = rng.choice('{}[]",:x\x00')
+        documents.append("".join(chars))
+    return documents
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerProcess("--workers", "1") as process:
+        yield process
+
+
+def send_raw(server, blob: bytes) -> bytes:
+    """Deliver raw bytes, half-close, and collect whatever comes back."""
+    host, port = server.url.removeprefix("http://").split(":")
+    with socket.create_connection((host, int(port)), timeout=15) as sock:
+        sock.sendall(blob)
+        sock.shutdown(socket.SHUT_WR)
+        sock.settimeout(15)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+
+
+def response_status(raw: bytes) -> int:
+    head = raw.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    parts = head.split()
+    assert parts and parts[0] == "HTTP/1.1", f"malformed status line {head!r}"
+    return int(parts[1])
+
+
+class TestRawProtocolFuzz:
+    def test_corpus_is_large_enough(self):
+        assert len(raw_corpus()) + len(payload_corpus()) >= 200
+
+    def test_server_survives_raw_garbage(self, server):
+        for index, blob in enumerate(raw_corpus()):
+            raw = send_raw(server, blob)
+            if raw:  # silence is legal only for a clean early close
+                status = response_status(raw)
+                assert status in RAW_OK_STATUSES, \
+                    f"case {index}: unexpected status {status} for {blob[:60]!r}"
+            if index % 25 == 0:
+                assert server.client.health() == {"status": "ok"}
+        assert server.client.health() == {"status": "ok"}
+
+
+class TestPayloadFuzz:
+    def test_every_malformed_payload_is_a_4xx(self, server):
+        import urllib.error
+        import urllib.request
+
+        for index, document in enumerate(payload_corpus()):
+            request = urllib.request.Request(
+                server.url + "/v1/order", data=document.encode("utf-8"),
+                headers={"Content-Type": "application/json"}, method="POST")
+            try:
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    raise AssertionError(
+                        f"case {index}: {document[:80]!r} was accepted "
+                        f"({response.status})")
+            except urllib.error.HTTPError as exc:
+                with exc:
+                    assert 400 <= exc.code < 500, \
+                        f"case {index}: {document[:80]!r} -> {exc.code}"
+                    body = json.loads(exc.read())
+                    assert "error" in body and "type" in body["error"]
+        assert server.client.health() == {"status": "ok"}
+
+    def test_server_still_computes_after_the_corpus(self, server):
+        body = server.client.order(
+            {"problem": "POW9", "scale": 0.02, "algorithm": "rcm"})
+        assert body["record"]["status"] == "ok"
