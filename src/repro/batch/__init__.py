@@ -63,7 +63,9 @@ from repro.batch.stream import (
     StreamWriter,
     TruncatedStreamError,
     read_jsonl_objects,
+    read_jsonl_objects_partial,
     read_stream,
+    read_stream_partial,
     stream_header,
     suite_from_stream,
     validate_stream_header,
@@ -103,7 +105,9 @@ __all__ = [
     "parse_shard",
     "plan_shards",
     "read_jsonl_objects",
+    "read_jsonl_objects_partial",
     "read_stream",
+    "read_stream_partial",
     "run_suite",
     "shard_tasks",
     "stream_header",

@@ -44,13 +44,15 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import replace
 from functools import lru_cache
 
 import numpy as np
 
+from repro import faults
 from repro.batch.results import SuiteResult, TaskRecord
 from repro.batch.sched import CostModel, order_longest_first, plan_shards
-from repro.batch.tasks import BatchTask, build_tasks, shard_tasks
+from repro.batch.tasks import BatchTask, build_tasks, derive_seed, shard_tasks
 from repro.collections.registry import load_problem
 from repro.envelope.metrics import envelope_statistics
 from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
@@ -66,6 +68,15 @@ __all__ = [
     "problem_cache_info",
     "clear_problem_cache",
 ]
+
+# Injected-fault backoff sleeps go through this indirection so tests can
+# observe the schedule without actually waiting.
+_sleep = time.sleep
+
+
+def _fault_key(task: BatchTask) -> str:
+    """The deterministic fault-draw key of one execution attempt."""
+    return f"{task.problem}/{task.algorithm}#a{int(task.attempt)}"
 
 
 @lru_cache(maxsize=64)
@@ -152,6 +163,7 @@ def execute_task(task: BatchTask, pattern=None, capture_errors: bool = True) -> 
         behaviour of the legacy in-process runner).
     """
     try:
+        faults.worker_faults(_fault_key(task), point="start")
         func = ORDERING_ALGORITHMS[task.algorithm]
         if pattern is None:
             pattern = _cached_pattern(task.problem, task.scale)
@@ -159,6 +171,7 @@ def execute_task(task: BatchTask, pattern=None, capture_errors: bool = True) -> 
         with timer:
             ordering = func(pattern, **task_options(func, task))
         stats = envelope_statistics(pattern, ordering.perm)
+        faults.worker_faults(_fault_key(task), point="finish")
         return TaskRecord(
             problem=task.problem,
             algorithm=task.algorithm,
@@ -215,6 +228,12 @@ def crash_record(task: BatchTask, detail: str) -> TaskRecord:
             "traceback": None,
         },
     )
+
+
+def _is_crash(record: TaskRecord) -> bool:
+    """True when a record reports a worker that died without a result."""
+    return (record.status == "error"
+            and (record.error or {}).get("type") == "WorkerCrashed")
 
 
 def _timeout_worker(task: BatchTask, connection) -> None:
@@ -287,11 +306,45 @@ def _iter_with_timeout(tasks, n_jobs: int, timeout_for):
 
 
 def _iter_pool(tasks, n_jobs: int):
-    """Yield ``(task, record)`` in completion order from a shared process pool."""
+    """Yield ``(task, record)`` in completion order from a shared process pool.
+
+    A worker that dies mid-task (SIGKILL, OOM, injected crash) breaks the
+    whole executor — every pending future raises ``BrokenProcessPool`` at
+    once.  Each such task is captured as a ``"WorkerCrashed"`` record rather
+    than killing the suite; tasks the broken pool never started are re-run
+    through a fresh pool so one crash costs one cell, not the batch.
+    """
+    tasks = list(tasks)
+    broke = False
     with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
         futures = {pool.submit(execute_task, task): task for task in tasks}
+        pending = {id(task): task for task in tasks}
         for future in as_completed(futures):
-            yield futures[future], future.result()
+            task = futures[future]
+            try:
+                record = future.result()
+            except Exception:
+                # The pool is poisoned; which worker actually died is
+                # resolved below, not from completion-order timing.
+                broke = True
+                continue
+            pending.pop(id(task), None)
+            yield task, record
+    if not broke:
+        return
+    # A broken pool cannot say *which* task killed its worker — every
+    # unfinished future raises the same BrokenProcessPool.  Re-run each
+    # survivor in an isolated single-worker pool: execution is deterministic
+    # (seeds and fault draws are pure functions of the task), so the genuine
+    # crasher crashes again — unambiguously attributed — and collateral
+    # tasks complete normally.  One crash costs one cell, never the batch.
+    for task in pending.values():
+        with ProcessPoolExecutor(max_workers=1) as solo:
+            try:
+                record = solo.submit(execute_task, task).result()
+            except Exception as exc:
+                record = crash_record(task, type(exc).__name__)
+        yield task, record
 
 
 def iter_suite(tasks, *, n_jobs: int = 1, timeout: float | None = None):
@@ -353,6 +406,8 @@ def run_suite(
     timeout: float | None = None,
     retry_timeouts: int = 0,
     timeout_growth: float = 2.0,
+    retry_crashes: int = 0,
+    crash_backoff_s: float = 0.1,
     completed=None,
     on_record=None,
 ) -> SuiteResult:
@@ -416,6 +471,21 @@ def run_suite(
     timeout_growth:
         Multiplier applied to the timeout each escalation round
         (default 2.0; must be positive).
+    retry_crashes:
+        Number of retry rounds for cells whose worker *crashed* (died
+        without reporting — SIGKILL, OOM, injected fault).  Crashed cells
+        re-run after an exponential backoff with deterministic jitter
+        (``crash_backoff_s * 2**round``, jittered up to +50%); like timeout
+        escalation, every attempt flows through ``on_record`` as a
+        superseding stream record and the result keeps the final attempt
+        per cell.  Crash retries share the escalation loop with timeout
+        retries, so a cell that times out *and* another that crashed retry
+        in the same round.
+    crash_backoff_s:
+        Base backoff before the first crash-retry round (default 0.1 s;
+        must be >= 0, doubling each round).  The jitter sequence derives
+        deterministically from ``base_seed``, so retry schedules are
+        reproducible.
     completed:
         Already-finished :class:`TaskRecord` s from a previous (killed) run
         of the *same* specification — the resume path.  Matching cells are
@@ -450,6 +520,12 @@ def run_suite(
     timeout_growth = float(timeout_growth)
     if timeout_growth <= 0:
         raise ValueError(f"timeout_growth must be positive, got {timeout_growth}")
+    retry_crashes = int(retry_crashes)
+    if retry_crashes < 0:
+        raise ValueError(f"retry_crashes must be >= 0, got {retry_crashes}")
+    crash_backoff_s = float(crash_backoff_s)
+    if crash_backoff_s < 0:
+        raise ValueError(f"crash_backoff_s must be >= 0, got {crash_backoff_s}")
 
     problems = [str(name).strip().upper() for name in problem_names]
     algorithms = tuple(algorithms)
@@ -507,29 +583,60 @@ def run_suite(
             done += 1
             if on_record is not None:
                 on_record(record, done, total)
-        # Timeout-retry escalation: re-run timed-out cells with a grown
-        # limit, replacing their records in place.  Every new attempt still
-        # flows through on_record, so a JSONL sink receives it as a
-        # superseding record (last attempt wins on read-back).
+        # Retry escalation: re-run timed-out cells with a grown limit and
+        # crashed cells after an exponential, deterministically-jittered
+        # backoff, replacing their records in place.  Both retry families
+        # share one round structure so a mixed failure set recovers in a
+        # single sweep per round.  Every new attempt still flows through
+        # on_record, so a JSONL sink receives it as a superseding record
+        # (last attempt wins on read-back).
         growth = 1.0
-        for _round in range(retry_timeouts):
-            slots = {pair[0].index: slot for slot, pair in enumerate(pairs)
-                     if pair[1].status == "timeout"
-                     and pair[0].index not in reused_indices}
-            if not slots or timeout is None:
+        backoff = crash_backoff_s
+        jitter_rng = np.random.default_rng(
+            derive_seed(base_seed, "__retry__", "backoff"))
+        for round_index in range(max(retry_timeouts, retry_crashes)):
+            timeout_slots = {} if (timeout is None or round_index >= retry_timeouts) else {
+                pair[0].index: slot for slot, pair in enumerate(pairs)
+                if pair[1].status == "timeout"
+                and pair[0].index not in reused_indices}
+            crash_slots = {} if round_index >= retry_crashes else {
+                pair[0].index: slot for slot, pair in enumerate(pairs)
+                if _is_crash(pair[1]) and pair[0].index not in reused_indices}
+            if not timeout_slots and not crash_slots:
                 break
-            growth *= timeout_growth
-            if callable(timeout):
+            if timeout_slots:
+                # Grow the limit only on rounds that actually retry a
+                # timeout, preserving the pre-existing escalation schedule.
+                growth *= timeout_growth
+            if timeout is None:
+                attempt_timeout = None
+            elif callable(timeout):
                 def attempt_timeout(task, _base=timeout, _growth=growth):
                     base_limit = _base(task)
                     return None if base_limit is None else base_limit * _growth
             else:
                 attempt_timeout = float(timeout) * growth
-            retry_tasks = [pairs[slot][0] for slot in slots.values()]
+            if crash_slots:
+                delay = backoff * (1.0 + 0.5 * float(jitter_rng.random()))
+                if delay > 0:
+                    _sleep(delay)
+                backoff *= 2.0
+            slots = {**timeout_slots, **crash_slots}
+            retry_tasks = [replace(pairs[slot][0], attempt=round_index + 1)
+                           for slot in slots.values()]
             if cost_model is not None:
                 retry_tasks = order_longest_first(retry_tasks, cost_model)
-            for task, record in iter_suite(retry_tasks, n_jobs=n_jobs,
-                                           timeout=attempt_timeout):
+            if crash_slots and attempt_timeout is None:
+                # A cell that just killed its worker must never re-run inside
+                # the orchestrator process — a repeat crash (segfault, OOM,
+                # injected fault) would take the whole suite down instead of
+                # producing another superseding record.  Force the pool even
+                # for a single retry task; the timeout path already isolates.
+                retry_iter = _iter_pool(retry_tasks, max(int(n_jobs), 1))
+            else:
+                retry_iter = iter_suite(retry_tasks, n_jobs=n_jobs,
+                                        timeout=attempt_timeout)
+            for task, record in retry_iter:
                 pairs[slots[task.index]] = (task, record)
                 if on_record is not None:
                     on_record(record, done, total)

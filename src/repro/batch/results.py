@@ -190,6 +190,11 @@ class SuiteResult:
     wall_time_s: float = 0.0
     shard: tuple | None = None
     schema_version: int = SCHEMA_VERSION
+    #: Data-loss accounting of a lossy read/merge (``--allow-partial``):
+    #: e.g. ``{"dropped_lines": 2, "missing_cells": 1}``.  ``None`` (and
+    #: absent from the JSON) for every complete artifact, so canonical
+    #: byte-identity of clean runs is untouched.
+    partial: dict | None = None
 
     # ------------------------------------------------------------------ #
     # access helpers
@@ -271,6 +276,8 @@ class SuiteResult:
         }
         if self.shard is not None:
             payload["shard"] = [int(self.shard[0]), int(self.shard[1])]
+        if self.partial:
+            payload["partial"] = {k: int(v) for k, v in sorted(self.partial.items())}
         if include_timing:
             payload["n_jobs"] = int(self.n_jobs)
             payload["wall_time_s"] = float(self.wall_time_s)
@@ -314,6 +321,7 @@ class SuiteResult:
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
             shard=None if shard is None else (int(shard[0]), int(shard[1])),
             schema_version=int(version),
+            partial=payload.get("partial"),
         )
 
     @classmethod
@@ -414,7 +422,7 @@ def dedupe_records(records) -> list:
     return [by_cell[cell] for cell in order]
 
 
-def merge_results(suites) -> SuiteResult:
+def merge_results(suites, *, allow_missing: bool = False) -> SuiteResult:
     """Recombine shard artifacts into the equivalent single-machine result.
 
     All inputs must share the same suite specification (``problems``,
@@ -437,12 +445,20 @@ def merge_results(suites) -> SuiteResult:
     >>> merged.shard is None, [r.algorithm for r in merged.records]
     (True, ['rcm', 'gps'])
 
+    ``allow_missing=True`` (the ``repro merge --allow-partial`` path) keeps
+    going when cells are missing — the inevitable outcome of merging a shard
+    stream whose torn tail was trimmed: present cells merge in canonical
+    order and the loss is recorded on the result
+    (``partial={"missing_cells": N, ...}``, aggregating any per-input
+    ``partial`` counters such as the streams' dropped line counts).
+
     Raises
     ------
     ValueError
         When no artifacts are given, the specifications disagree, a cell is
         recorded more than once (overlapping shards), a record falls outside
-        the specification, or cells are missing (incomplete shard set).
+        the specification, or — unless ``allow_missing`` — cells are missing
+        (incomplete shard set).
     """
     suites = list(suites)
     if not suites:
@@ -486,19 +502,26 @@ def merge_results(suites) -> SuiteResult:
             f"than once, e.g. {sorted(set(duplicates))[:3]}"
         )
     missing = [cell for cell in expected if cell not in by_cell]
-    if missing:
+    if missing and not allow_missing:
         raise ValueError(
             f"incomplete shard set: {len(missing)} of {len(expected)} "
             f"cell(s) missing, e.g. {missing[:3]}"
         )
+    partial: dict = {}
+    for suite in suites:
+        for key, value in (suite.partial or {}).items():
+            partial[key] = partial.get(key, 0) + int(value)
+    if missing:
+        partial["missing_cells"] = partial.get("missing_cells", 0) + len(missing)
     return SuiteResult(
         problems=list(reference.problems),
         algorithms=list(reference.algorithms),
         scale=reference.scale,
         n_jobs=max(int(suite.n_jobs) for suite in suites),
         base_seed=reference.base_seed,
-        records=[by_cell[cell] for cell in expected],
+        records=[by_cell[cell] for cell in expected if cell in by_cell],
         wall_time_s=float(sum(suite.wall_time_s for suite in suites)),
         shard=None,
         schema_version=SCHEMA_VERSION,
+        partial=partial or None,
     )

@@ -46,7 +46,9 @@ __all__ = [
     "StreamWriter",
     "TruncatedStreamError",
     "read_jsonl_objects",
+    "read_jsonl_objects_partial",
     "read_stream",
+    "read_stream_partial",
     "stream_header",
     "suite_from_stream",
     "validate_stream_header",
@@ -244,6 +246,46 @@ def read_jsonl_objects(path) -> list[dict]:
     return parsed
 
 
+def read_jsonl_objects_partial(path) -> tuple[list[dict], int]:
+    """Parse a JSONL file salvaging every complete object line:
+    ``(objects, dropped)``.
+
+    The *lossy* sibling of :func:`read_jsonl_objects` for callers that asked
+    to keep going past damage (``repro merge --allow-partial``, the server
+    journal's replay accounting): malformed lines and non-object lines
+    anywhere in the file are skipped and **counted** instead of raising, so
+    the caller can report exactly how much was lost.
+
+    Raises
+    ------
+    TruncatedStreamError
+        When the file holds no complete object line at all — there is
+        nothing to salvage.
+    OSError
+        When the file cannot be read at all.
+    """
+    lines = Path(path).read_text().splitlines()
+    parsed: list[dict] = []
+    dropped = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            dropped += 1
+            continue
+        if not isinstance(payload, dict):
+            dropped += 1
+            continue
+        parsed.append(payload)
+    if not parsed:
+        raise TruncatedStreamError(
+            f"stream file {path} has no complete line to salvage"
+        )
+    return parsed, dropped
+
+
 def read_stream(path) -> tuple[dict, list[TaskRecord]]:
     """Read a stream file back: ``(header, records)``.
 
@@ -287,7 +329,45 @@ def read_stream(path) -> tuple[dict, list[TaskRecord]]:
     return header, records
 
 
-def suite_from_stream(path) -> SuiteResult:
+def read_stream_partial(path) -> tuple[dict, list[TaskRecord], int]:
+    """Read a damaged stream file salvaging complete records:
+    ``(header, records, dropped)``.
+
+    The ``--allow-partial`` backend: where :func:`read_stream` rejects a
+    malformed mid-file line as corruption, this salvages every complete,
+    valid record line and counts the rest (malformed JSON, unknown kinds,
+    invalid record payloads) as dropped.  The header must still be the first
+    parseable object — a stream whose provenance is unreadable cannot be
+    merged safely at any tolerance level.
+
+    Raises
+    ------
+    TruncatedStreamError
+        When the file holds no complete line at all.
+    ValueError
+        When the first parseable line is not a header (unknown provenance).
+    OSError
+        When the file cannot be read at all.
+    """
+    parsed, dropped = read_jsonl_objects_partial(path)
+    if parsed[0].get("kind") != "header":
+        raise ValueError(
+            f"stream file {path} does not start with a header line"
+        )
+    header = parsed[0]
+    records = []
+    for payload in parsed[1:]:
+        if payload.get("kind") != "record":
+            dropped += 1
+            continue
+        try:
+            records.append(TaskRecord.from_dict(payload))
+        except (KeyError, TypeError, ValueError):
+            dropped += 1
+    return header, records, dropped
+
+
+def suite_from_stream(path, *, allow_partial: bool = False) -> SuiteResult:
     """Read a stream file into a :class:`~repro.batch.results.SuiteResult`.
 
     The specification comes from the header; retried cells — a timeout
@@ -302,8 +382,18 @@ def suite_from_stream(path) -> SuiteResult:
     records' ``time_s`` (the per-machine wall time was never recorded in
     the stream).  Raises the same errors as :func:`read_stream`, plus
     :exc:`SchemaVersionError` for a header this build cannot read.
+
+    ``allow_partial=True`` (the ``repro merge --allow-partial`` path)
+    salvages a stream with damaged mid-file or torn trailing lines instead
+    of raising: complete records are kept, the dropped-line count is
+    recorded on the result (``partial={"dropped_lines": N}``) and surfaces
+    in the merged artifact.
     """
-    header, records = read_stream(path)
+    if allow_partial:
+        header, records, dropped = read_stream_partial(path)
+    else:
+        header, records = read_stream(path)
+        dropped = 0
     version = header.get("schema_version")
     if version != SCHEMA_VERSION:
         raise SchemaVersionError(
@@ -320,4 +410,5 @@ def suite_from_stream(path) -> SuiteResult:
         records=records,
         wall_time_s=float(sum(record.time_s for record in records)),
         shard=None if shard is None else (int(shard[0]), int(shard[1])),
+        partial={"dropped_lines": dropped} if dropped else None,
     )

@@ -84,6 +84,12 @@ class BatchTask:
         Extra keyword arguments for the algorithm.
     index:
         Position of the task in the suite's deterministic expansion order.
+    attempt:
+        Execution-attempt ordinal (0 for the first run, bumped by the
+        engine's crash/timeout retry rounds and the server pool per
+        computation).  Never serialized into artifacts and never part of
+        seeding — it exists so deterministic fault-injection draws
+        (:mod:`repro.faults`) vary across retries of the same cell.
     """
 
     problem: str
@@ -92,6 +98,7 @@ class BatchTask:
     seed: int = 0
     options: dict = field(default_factory=dict)
     index: int = 0
+    attempt: int = 0
 
 
 def build_task(

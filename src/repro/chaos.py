@@ -1,0 +1,398 @@
+"""The ``repro chaos`` harness: run the system under injected faults and
+assert its resilience invariants.
+
+Two drivers, both built on :mod:`repro.faults`:
+
+``repro chaos suite``
+    Run a ``problems x algorithms`` suite through the batch engine with a
+    fault spec active (worker crashes, hangs, slow cells, store damage),
+    letting the crash/timeout retry machinery absorb the injected failures
+    — then run the identical suite fault-free and serial, and require the
+    two canonical artifacts (``to_json(include_timing=False)``) to be
+    **byte-identical**.  Exit 0 means every injected fault was absorbed
+    without changing a single result byte; exit 1 prints the diff.
+
+``repro chaos serve``
+    Boot a real ``repro serve`` subprocess with the fault spec active and
+    soak it with ordering requests through the retrying client
+    (:meth:`~repro.serve.client.ServerClient.order_with_retries`), asserting
+    that every request eventually answers ``ok`` with identical canonical
+    records across repeats, that the server stays alive the whole time,
+    and — the graceful-drain proof — that a SIGTERM sent while a request is
+    in flight lets the server answer it, flush its journal (replayable with
+    zero skipped lines), and exit 0.
+
+Both drivers accept ``--events PATH.jsonl`` to capture one JSONL event per
+fired fault (the CI chaos job uploads it as a build artifact) and print a
+summary of what was injected and what was absorbed.  See
+``docs/robustness.md`` for the spec grammar and the invariants in detail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro import faults
+
+__all__ = ["run_chaos_suite", "run_chaos_serve"]
+
+_SPEC_ENV = "REPRO_FAULTS"
+
+#: Default cells for a chaos run: small, fast, and covering both the
+#: combinatorial and the spectral code paths.
+_DEFAULT_PROBLEMS = ("POW9", "BARTH4")
+
+
+def _prepare_spec(args) -> "tuple[faults.FaultPlan, str] | int":
+    """Validate ``--inject-faults`` and splice in ``--events``; 2 on error."""
+    spec = args.inject_faults
+    try:
+        plan = faults.FaultPlan.parse(spec)
+    except ValueError as exc:
+        print(f"--inject-faults: {exc}", file=sys.stderr)
+        return 2
+    if args.events:
+        events = Path(args.events)
+        events.parent.mkdir(parents=True, exist_ok=True)
+        events.write_text("")  # fresh event log per chaos run
+        spec = f"{spec};log={events}"
+    return plan, spec
+
+
+def _event_summary(events_path) -> str:
+    """Per-site fired-fault counts from an event log, for the summary line."""
+    counts: dict[str, int] = {}
+    try:
+        lines = Path(events_path).read_text().splitlines()
+    except OSError:
+        return ""
+    for line in lines:
+        try:
+            site = json.loads(line).get("site")
+        except (json.JSONDecodeError, AttributeError):
+            continue
+        if site:
+            counts[site] = counts.get(site, 0) + 1
+    return ", ".join(f"{site}: {counts[site]}" for site in sorted(counts))
+
+
+# ---------------------------------------------------------------------- #
+# chaos suite
+# ---------------------------------------------------------------------- #
+def run_chaos_suite(args) -> int:
+    """Faulty suite run -> clean serial run -> byte-compare the artifacts."""
+    from repro.batch import run_suite
+    from repro.orderings.registry import PAPER_ALGORITHMS
+
+    prepared = _prepare_spec(args)
+    if isinstance(prepared, int):
+        return prepared
+    plan, spec = prepared
+
+    problems = list(args.problems) or list(_DEFAULT_PROBLEMS)
+    algorithms = (tuple(args.algorithms.split(","))
+                  if args.algorithms else PAPER_ALGORITHMS)
+    print(f"chaos suite: injecting {plan.describe()}", file=sys.stderr)
+    print(f"chaos suite: {len(problems)} problem(s) x {len(algorithms)} "
+          f"algorithm(s), jobs={args.jobs}, retry-crashes={args.retry_crashes}, "
+          f"retry-timeouts={args.retry_timeouts}", file=sys.stderr)
+
+    # Per-attempt records as they stream in, including superseded ones —
+    # this is the count of faults the retry machinery absorbed.
+    absorbed = {"crashed": 0, "timeout": 0}
+
+    def on_record(record, done, total):
+        if record.status == "timeout":
+            absorbed["timeout"] += 1
+        elif (record.error or {}).get("type") == "WorkerCrashed":
+            absorbed["crashed"] += 1
+
+    os.environ[_SPEC_ENV] = spec
+    faults.reset_fault_plan()
+    faults.protect_current_process()  # the coordinator observes, never dies
+    try:
+        faulty = run_suite(
+            problems,
+            algorithms,
+            scale=args.scale,
+            n_jobs=args.jobs,
+            base_seed=args.seed,
+            timeout=args.timeout,
+            retry_timeouts=args.retry_timeouts,
+            retry_crashes=args.retry_crashes,
+            crash_backoff_s=args.retry_backoff,
+            on_record=on_record,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    finally:
+        os.environ.pop(_SPEC_ENV, None)
+        faults.reset_fault_plan()
+
+    print(f"chaos suite: faulty run done in {faulty.wall_time_s:.2f} s — "
+          f"{absorbed['crashed']} crash(es) and {absorbed['timeout']} "
+          f"timeout(s) absorbed by retries", file=sys.stderr)
+    if args.events:
+        fired = _event_summary(args.events)
+        if fired:
+            print(f"chaos suite: faults fired — {fired}", file=sys.stderr)
+
+    # The ground truth: the same suite, serial, no faults, no retries.
+    clean = run_suite(problems, algorithms, scale=args.scale, n_jobs=1,
+                      base_seed=args.seed)
+
+    faulty_canonical = faulty.to_json(include_timing=False)
+    clean_canonical = clean.to_json(include_timing=False)
+    if args.output:
+        from repro.utils.atomic import atomic_write_text
+
+        atomic_write_text(Path(args.output), faulty_canonical)
+        print(f"chaos suite: canonical artifact written to {args.output}",
+              file=sys.stderr)
+
+    if faulty_canonical != clean_canonical:
+        differences = clean.diff(faulty)
+        print(f"chaos suite: FAILED — canonical artifact differs from the "
+              f"fault-free run ({len(differences)} difference(s)):",
+              file=sys.stderr)
+        for line in differences[:20]:
+            print(f"  {line}", file=sys.stderr)
+        if len(differences) > 20:
+            print(f"  ... and {len(differences) - 20} more", file=sys.stderr)
+        return 1
+
+    survivors = [r for r in faulty.records if not r.ok]
+    if survivors:
+        # Identical artifacts containing non-ok records means the *clean*
+        # run failed too — a real bug, not an injection artifact.
+        print(f"chaos suite: FAILED — {len(survivors)} cell(s) not ok even "
+              f"without faults", file=sys.stderr)
+        return 1
+    if not absorbed["crashed"] and not absorbed["timeout"]:
+        print("chaos suite: warning — no fault was absorbed (rates too low "
+              "for this suite?); the identity check was vacuous",
+              file=sys.stderr)
+    print(f"chaos suite: OK — final artifact byte-identical to the "
+          f"fault-free run ({len(faulty.records)} record(s))")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# chaos serve
+# ---------------------------------------------------------------------- #
+_BOOT_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def _boot_server(cmd) -> "tuple[subprocess.Popen, str]":
+    """Start a ``repro serve`` subprocess, return it and its base URL."""
+    process = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    deadline = time.monotonic() + 60.0
+    lines = []
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        lines.append(line.rstrip())
+        match = _BOOT_RE.search(line)
+        if match:
+            return process, f"http://{match.group(1)}:{match.group(2)}"
+    process.kill()
+    process.wait()
+    boot_log = "\n".join(lines) or "<no output>"
+    raise RuntimeError(f"server failed to boot:\n{boot_log}")
+
+
+def _soak_request(client, payload, *, retries, backoff_s):
+    """One soak cell: keep asking until the server answers ``ok``.
+
+    ``order_with_retries`` already absorbs 429/503/connection failures; this
+    outer loop additionally re-asks after a 5xx *answer* (a worker crash or
+    timeout surfaced as a structured record) — a fresh request is a fresh
+    computation with a fresh fault draw, so under any crash rate < 1 it
+    converges.  Returns ``(record, attempts)``.
+    """
+    from repro.serve.client import ServerError
+
+    last_error = None
+    for attempt in range(retries + 1):
+        try:
+            body = client.order_with_retries(
+                payload, retries=retries, backoff_s=backoff_s, max_backoff_s=5.0
+            )
+        except ServerError as exc:  # a non-retryable answer (e.g. 500 crash)
+            last_error = exc
+            continue
+        except OSError as exc:  # dropped response after client retries ran out
+            last_error = exc
+            continue
+        record = body.get("record") or {}
+        if record.get("status") == "ok":
+            return record, attempt + 1
+        last_error = RuntimeError(f"non-ok record: {record.get('status')}")
+    raise RuntimeError(
+        f"cell {payload['problem']}/{payload['algorithm']} never answered ok "
+        f"after {retries + 1} request round(s): {last_error}"
+    )
+
+
+def run_chaos_serve(args) -> int:
+    """Soak a faulty ``repro serve`` subprocess, then prove graceful drain."""
+    from repro.orderings.registry import PAPER_ALGORITHMS
+    from repro.serve.client import ServerClient
+    from repro.serve.jobs import JobJournal
+
+    prepared = _prepare_spec(args)
+    if isinstance(prepared, int):
+        return prepared
+    plan, spec = prepared
+
+    problems = list(args.problems) or list(_DEFAULT_PROBLEMS)
+    algorithms = (tuple(args.algorithms.split(","))
+                  if args.algorithms else PAPER_ALGORITHMS)
+    print(f"chaos serve: injecting {plan.describe()}", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        journal = Path(args.journal) if args.journal else Path(scratch) / "journal.jsonl"
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--workers", str(args.workers),
+            "--timeout", "60",
+            "--journal", str(journal),
+            "--inject-faults", spec,
+            "--breaker-threshold", str(args.breaker_threshold),
+            "--breaker-cooldown", str(args.breaker_cooldown),
+            "--drain-grace", str(args.drain_grace),
+        ]
+        process, base_url = _boot_server(cmd)
+        client = ServerClient(base_url, timeout=30.0)
+        exit_code = 1
+        try:
+            exit_code = _run_soak(args, client, process, problems, algorithms,
+                                  journal, JobJournal)
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stdout.close()
+            process.wait()
+        return exit_code
+
+
+def _run_soak(args, client, process, problems, algorithms, journal,
+              journal_cls) -> int:
+    """The soak + drain body; the caller guarantees process cleanup."""
+    # -------------------------------------------------------------- soak
+    cells = [(p, a) for p in problems for a in algorithms]
+    canonical: dict[tuple, dict] = {}
+    total_rounds = 0
+    for index in range(args.requests):
+        problem, algorithm = cells[index % len(cells)]
+        payload = {"problem": problem, "algorithm": algorithm,
+                   "scale": args.scale, "base_seed": 0}
+        record, rounds = _soak_request(client, payload, retries=args.retries,
+                                       backoff_s=args.retry_backoff)
+        total_rounds += rounds
+        record.pop("time_s", None)  # canonical form: timing-free
+        cell = (problem, algorithm)
+        if cell in canonical and canonical[cell] != record:
+            print(f"chaos serve: FAILED — {problem}/{algorithm} answered "
+                  f"different canonical records across repeats",
+                  file=sys.stderr)
+            return 1
+        canonical[cell] = record
+        if process.poll() is not None:
+            print(f"chaos serve: FAILED — server died mid-soak "
+                  f"(exit {process.returncode})", file=sys.stderr)
+            return 1
+    health = client.health()
+    if health.get("status") not in ("ok", "degraded"):
+        print(f"chaos serve: FAILED — unexpected health after soak: {health}",
+              file=sys.stderr)
+        return 1
+    stats = client.stats()
+    jobs_stats = stats.get("jobs", {})
+    requests_stats = stats.get("requests", {})
+    print(f"chaos serve: soak done — {args.requests} request(s) in "
+          f"{total_rounds} round(s); server counters: "
+          f"{requests_stats.get('total')} total, "
+          f"{requests_stats.get('shed')} shed, "
+          f"{requests_stats.get('breaker_rejected')} breaker-rejected, "
+          f"{requests_stats.get('dropped_responses')} dropped response(s), "
+          f"{jobs_stats.get('journaled')} journaled", file=sys.stderr)
+    if args.events:
+        fired = _event_summary(args.events)
+        if fired:
+            print(f"chaos serve: faults fired — {fired}", file=sys.stderr)
+    journaled_before = int(jobs_stats.get("journaled") or 0)
+
+    # ------------------------------------------------------- drain proof
+    # Post a deliberately slow request, SIGTERM the server while it is in
+    # flight, and require: exit code 0, the slow request answered, and a
+    # clean journal (every admitted job recorded done, no torn tail).
+    slow_result: dict = {}
+
+    def slow_order():
+        payload = {"problem": problems[0], "algorithm": algorithms[0],
+                   "scale": args.scale, "base_seed": 0, "debug_delay_s": 1.0}
+        try:
+            status, _headers, body = client.request("POST", "/v1/order", payload)
+            slow_result["status"] = status
+            slow_result["body"] = body
+        except OSError as exc:  # an injected http.drop eats the response
+            slow_result["error"] = str(exc)
+
+    thread = threading.Thread(target=slow_order, daemon=True)
+    thread.start()
+    time.sleep(0.3)  # let the slow request be admitted and start computing
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=args.drain_grace + 30.0)
+    except subprocess.TimeoutExpired:
+        print(f"chaos serve: FAILED — server did not exit within "
+              f"{args.drain_grace + 30:.0f} s of SIGTERM", file=sys.stderr)
+        return 1
+    thread.join(timeout=10.0)
+    if process.returncode != 0:
+        print(f"chaos serve: FAILED — SIGTERM drain exited "
+              f"{process.returncode}, want 0", file=sys.stderr)
+        return 1
+
+    replayed = journal_cls.replay(journal)
+    not_done = [job for job in replayed if job.get("state") != "done"]
+    if getattr(replayed, "skipped", 0):
+        print(f"chaos serve: FAILED — journal replay skipped "
+              f"{replayed.skipped} line(s) after a graceful drain",
+              file=sys.stderr)
+        return 1
+    if not_done:
+        print(f"chaos serve: FAILED — {len(not_done)} journaled job(s) never "
+              f"finished", file=sys.stderr)
+        return 1
+    if "status" in slow_result:
+        answered = True
+    else:
+        # The response bytes were dropped by an injected http.drop; the
+        # journal is then the proof the server answered before exiting.
+        answered = len(replayed) >= journaled_before + 1
+    if not answered:
+        print(f"chaos serve: FAILED — the in-flight request was not answered "
+              f"before exit (client saw {slow_result.get('error')!r}, journal "
+              f"has {len(replayed)} job(s), {journaled_before} pre-drain)",
+              file=sys.stderr)
+        return 1
+    print(f"chaos serve: OK — {args.requests} request(s) converged, drain "
+          f"answered the in-flight request and exited 0, journal replays "
+          f"{len(replayed)} job(s) with 0 skipped")
+    return 0

@@ -98,6 +98,18 @@ actually runs (full reference: ``docs/running.md``):
     Both paths produce byte-identical canonical records for the same
     input, seed and algorithm — the server is the same engine, resident.
 
+``chaos``
+    Run the suite or a live server soak under deterministic fault
+    injection (:mod:`repro.faults`) and assert the resilience invariants
+    (see ``docs/robustness.md``)::
+
+        repro chaos suite --inject-faults "seed=7;worker.crash@0.25,point=start"
+        repro chaos serve --requests 12 --inject-faults "seed=7;worker.crash@0.2"
+
+    ``chaos suite`` requires the faulty run's canonical artifact to be
+    byte-identical to a fault-free serial run; ``chaos serve`` soaks a real
+    server subprocess and proves the SIGTERM graceful drain.
+
 ``spy``
     Print an ASCII structure plot of a matrix under a chosen ordering
     (the Figure 4.1-4.5 view).
@@ -289,13 +301,44 @@ def _activate_store(store_arg):
 def _store_stats_line(store) -> str:
     """One summary line of this process's store traffic (CI greps it)."""
     stats = store.stats
-    return (f"store {store.root}: {stats['hits']} hit(s), "
+    line = (f"store {store.root}: {stats['hits']} hit(s), "
             f"{stats['misses']} miss(es), {stats['writes']} write(s), "
             f"{stats['corrupt']} corrupt evicted")
+    if stats.get("quarantined"):
+        line += f" ({stats['quarantined']} quarantined)"
+    return line
+
+
+def _activate_faults(spec_arg) -> "int | None":
+    """Validate and activate ``--inject-faults SPEC``, or return exit code 2.
+
+    The spec is exported as ``REPRO_FAULTS`` so worker processes inherit it,
+    and the current process is protected from process-fatal sites (crash,
+    hang) — a coordinator must observe worker deaths, not die of them.
+    """
+    if not spec_arg:
+        return None
+    import os
+
+    from repro import faults
+
+    try:
+        plan = faults.FaultPlan.parse(spec_arg)
+    except ValueError as exc:
+        print(f"--inject-faults: {exc}", file=sys.stderr)
+        return 2
+    os.environ["REPRO_FAULTS"] = str(spec_arg)
+    faults.reset_fault_plan()
+    faults.protect_current_process()
+    print(f"fault injection active: {plan.describe()}", file=sys.stderr)
+    return None
 
 
 def _cmd_suite(args) -> int:
     store = _activate_store(args.store)
+    failed_faults = _activate_faults(args.inject_faults)
+    if failed_faults is not None:
+        return failed_faults
     if args.table and args.problems:
         print("give either problem names or --table, not both", file=sys.stderr)
         return 2
@@ -480,6 +523,8 @@ def _cmd_suite(args) -> int:
             timeout=timeout,
             retry_timeouts=args.retry_timeouts,
             timeout_growth=args.timeout_growth,
+            retry_crashes=args.retry_crashes,
+            crash_backoff_s=args.retry_backoff,
             completed=completed,
             on_record=on_record,
         )
@@ -495,6 +540,8 @@ def _cmd_suite(args) -> int:
     print(suite.to_text())
     ok, failed = len(suite.ok_records), len(suite.failures)
     timed_out = len(suite.timeouts)
+    crashed = sum(1 for r in suite.records
+                  if (r.error or {}).get("type") == "WorkerCrashed")
     shard_label = f" (shard {shard[0]}/{shard[1]})" if shard else ""
     summary = (
         f"\n{ok + failed} task(s){shard_label} in {suite.wall_time_s:.2f} s "
@@ -502,6 +549,8 @@ def _cmd_suite(args) -> int:
     )
     if timed_out:
         summary += f" ({timed_out} timed out)"
+    if crashed:
+        summary += f" ({crashed} crashed)"
     if completed:
         summary += f"; {len(completed)} reused from {resume_path}"
     print(summary)
@@ -527,15 +576,22 @@ def _cmd_suite(args) -> int:
     return 1 if suite.failures else 0
 
 
-def _load_stream_input(path: str) -> "SuiteResult | int":
+def _load_stream_input(path: str, *, allow_partial: bool = False) -> "SuiteResult | int":
     """Load a JSONL stream file as a merge input, or return exit code 2.
 
     Retried cells (timeout records superseded by a later attempt) are
     deduped to the final attempt, so a stream written under
-    ``--retry-timeouts`` merges cleanly.
+    ``--retry-timeouts`` merges cleanly.  With ``allow_partial`` a stream
+    damaged mid-file (a torn shard, an injected ``store.torn``) loads
+    anyway: the unreadable lines are dropped, counted, and warned about.
     """
     try:
-        return suite_from_stream(path)
+        suite = suite_from_stream(path, allow_partial=allow_partial)
+        if suite.partial:
+            dropped = suite.partial.get("dropped_lines", 0)
+            print(f"warning: shard stream {path}: dropped {dropped} "
+                  f"damaged line(s) (--allow-partial)", file=sys.stderr)
+        return suite
     except SchemaVersionError as exc:
         print(f"shard stream {path}: results-schema mismatch: {exc}", file=sys.stderr)
         return 2
@@ -547,7 +603,7 @@ def _load_stream_input(path: str) -> "SuiteResult | int":
         return 2
 
 
-def _load_merge_input(path: str) -> "SuiteResult | int":
+def _load_merge_input(path: str, *, allow_partial: bool = False) -> "SuiteResult | int":
     """Load one merge input — artifact or stream, detected by content.
 
     A stream is whatever is not a single JSON document, or whose single
@@ -567,19 +623,19 @@ def _load_merge_input(path: str) -> "SuiteResult | int":
     except json.JSONDecodeError:
         payload = None
     if payload is None or (isinstance(payload, dict) and payload.get("kind") == "header"):
-        return _load_stream_input(path)
+        return _load_stream_input(path, allow_partial=allow_partial)
     return _load_artifact(path, "shard artifact")
 
 
 def _cmd_merge(args) -> int:
     suites = []
     for path in args.inputs:
-        suite = _load_merge_input(path)
+        suite = _load_merge_input(path, allow_partial=args.allow_partial)
         if isinstance(suite, int):
             return suite
         suites.append(suite)
     try:
-        merged = merge_results(suites)
+        merged = merge_results(suites, allow_missing=args.allow_partial)
     except ValueError as exc:
         print(f"merge failed: {exc}", file=sys.stderr)
         return 2
@@ -590,6 +646,11 @@ def _cmd_merge(args) -> int:
         f"merged {len(merged.records)} record(s) from {len(suites)} artifact(s) "
         f"into {output} ({form} form)"
     )
+    if merged.partial:
+        losses = ", ".join(f"{k}={v}" for k, v in sorted(merged.partial.items()))
+        print(f"warning: merged artifact is partial ({losses}); rerun the "
+              f"affected shards and merge again for a complete suite",
+              file=sys.stderr)
     failed = len(merged.failures)
     if failed:
         print(f"warning: {failed} non-ok record(s) in the merged suite",
@@ -691,9 +752,10 @@ def _cmd_cache(args) -> int:
         return 2
 
     if args.cache_command == "clear":
-        removed = store.clear()
+        removed = store.clear(include_quarantine=args.quarantine)
+        scope = " (incl. quarantine)" if args.quarantine else ""
         print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
-              f"from {store.root}")
+              f"from {store.root}{scope}")
         return 0
 
     if args.cache_command == "ls":
@@ -724,6 +786,13 @@ def _cmd_cache(args) -> int:
             print(f"  {kind:<12} {bucket['entries']:>5} entr"
                   f"{'y' if bucket['entries'] == 1 else 'ies'} "
                   f"{bucket['bytes']:>12,} bytes")
+        quarantine = info.get("quarantine") or {}
+        if quarantine.get("entries"):
+            print(f"  quarantine   {quarantine['entries']:>5} entr"
+                  f"{'y' if quarantine['entries'] == 1 else 'ies'} "
+                  f"{quarantine['bytes']:>12,} bytes "
+                  f"(corrupt entries moved aside; "
+                  f"'repro cache clear --quarantine' removes them)")
         return 0
 
     # prewarm: build each problem's structural plan into the store so a
@@ -770,6 +839,9 @@ def _cmd_serve(args) -> int:
     from repro.serve import ServeConfig
 
     _activate_store(args.store)
+    failed_faults = _activate_faults(args.inject_faults)
+    if failed_faults is not None:
+        return failed_faults
     try:
         kwargs = {} if args.max_inline_n is None else {"max_inline_n": args.max_inline_n}
         config = ServeConfig(
@@ -783,6 +855,9 @@ def _cmd_serve(args) -> int:
             retry_after_s=args.retry_after,
             read_timeout_s=args.read_timeout,
             allow_delay=not args.no_debug_delay,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+            drain_grace_s=args.drain_grace,
             **kwargs,
         )
         asyncio.run(_serve_main(config))
@@ -798,6 +873,9 @@ def _cmd_serve(args) -> int:
 
 
 async def _serve_main(config) -> None:
+    import asyncio
+    import signal as _signal
+
     from repro.serve import OrderingServer
 
     server = OrderingServer(config)
@@ -809,10 +887,25 @@ async def _serve_main(config) -> None:
           f"mode={config.worker_mode})", flush=True)
     if config.journal:
         print(f"repro serve: job journal at {config.journal} "
-              f"({server.replayed_jobs} finished job(s) replayed)", flush=True)
+              f"({server.replayed_jobs} finished job(s) replayed, "
+              f"{server.replay_skipped} line(s) skipped)", flush=True)
+    loop = asyncio.get_running_loop()
+    drain_handler = False
     try:
-        await server.serve_forever()
+        # SIGTERM means graceful drain: stop admitting orders, answer
+        # everything in flight, flush the journal, exit 0.  SIGINT keeps its
+        # default KeyboardInterrupt (immediate stop for interactive use).
+        loop.add_signal_handler(_signal.SIGTERM, server.begin_drain)
+        drain_handler = True
+    except (NotImplementedError, RuntimeError):
+        pass  # platforms without loop signal handlers keep default SIGTERM
+    try:
+        await server.run_until_drained()
+        print(f"repro serve: drained ({server.counters['computations']} "
+              f"computation(s) served); exiting", flush=True)
     finally:
+        if drain_handler:
+            loop.remove_signal_handler(_signal.SIGTERM)
         await server.close()
 
 
@@ -887,7 +980,12 @@ def _cmd_order(args) -> int:
             return 2
         client = ServerClient(args.server, timeout=args.client_timeout)
         try:
-            response = client.order(payload)
+            if args.retries:
+                response = client.order_with_retries(
+                    payload, retries=args.retries, backoff_s=args.retry_backoff
+                )
+            else:
+                response = client.order(payload)
         except ServerError as exc:
             print(exc, file=sys.stderr)
             return 1
@@ -939,6 +1037,18 @@ def _cmd_order(args) -> int:
         if not args.json:
             print(f"  permutation written to {args.output_permutation}")
     return 0 if record_dict.get("status") == "ok" else 1
+
+
+def _cmd_chaos(args) -> int:
+    from repro import chaos
+
+    if args.chaos_command == "suite":
+        return chaos.run_chaos_suite(args)
+    try:
+        return chaos.run_chaos_serve(args)
+    except RuntimeError as exc:
+        print(f"chaos serve: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_spy(args) -> int:
@@ -1053,6 +1163,19 @@ def build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument("--timeout-growth", type=float, default=2.0, metavar="G",
                               help="timeout multiplier per escalation round "
                                    "(default 2.0)")
+    suite_parser.add_argument("--retry-crashes", type=int, default=0, metavar="R",
+                              help="re-run cells whose worker process died "
+                                   "(OOM kill, segfault, injected crash) up to "
+                                   "R times with exponential backoff, appending "
+                                   "superseding records to the stream")
+    suite_parser.add_argument("--retry-backoff", type=float, default=0.1,
+                              metavar="SECONDS",
+                              help="initial crash-retry backoff; doubles per "
+                                   "round with jitter (default 0.1)")
+    suite_parser.add_argument("--inject-faults", default=None, metavar="SPEC",
+                              help="activate deterministic fault injection "
+                                   "(exported as REPRO_FAULTS; see "
+                                   "docs/robustness.md for the grammar)")
     suite_parser.add_argument("--output", default=None,
                               help="write the versioned JSON results artifact here")
     suite_parser.add_argument("--stream-output", default=None, metavar="PATH.jsonl",
@@ -1095,6 +1218,11 @@ def build_parser() -> argparse.ArgumentParser:
     merge_parser.add_argument("--canonical", action="store_true",
                               help="write the canonical (timing-free) form, the one "
                                    "golden tests compare byte-for-byte")
+    merge_parser.add_argument("--allow-partial", action="store_true",
+                              help="tolerate torn/damaged shard streams and "
+                                   "missing cells: drop what cannot be read, "
+                                   "warn, and record the losses under the "
+                                   "merged artifact's 'partial' key")
     merge_parser.set_defaults(func=_cmd_merge)
 
     bench_parser = sub.add_parser(
@@ -1169,7 +1297,92 @@ def build_parser() -> argparse.ArgumentParser:
     cache_prewarm.set_defaults(func=_cmd_cache)
     cache_clear = cache_sub.add_parser("clear", help="delete every store entry")
     _cache_store_option(cache_clear)
+    cache_clear.add_argument("--quarantine", action="store_true",
+                             help="also delete quarantined (corrupt) entries")
     cache_clear.set_defaults(func=_cmd_cache)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="run the suite or a server soak under injected faults "
+                      "and assert the resilience invariants"
+    )
+    chaos_sub = chaos_parser.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_suite = chaos_sub.add_parser(
+        "suite", help="faulty suite run, then byte-compare against a "
+                      "fault-free serial run"
+    )
+    chaos_suite.add_argument("problems", nargs="*",
+                             help="registered problem names "
+                                  "(default: POW9 BARTH4)")
+    chaos_suite.add_argument("--algorithms", default=None,
+                             help="comma-separated list (default: paper set)")
+    chaos_suite.add_argument("--scale", type=float, default=0.05,
+                             help="surrogate scale (default 0.05 — chaos runs "
+                                  "exercise machinery, not problem size)")
+    chaos_suite.add_argument("--jobs", type=int, default=2,
+                             help="worker processes for the faulty run")
+    chaos_suite.add_argument("--seed", type=int, default=0,
+                             help="suite base seed (both runs)")
+    chaos_suite.add_argument("--timeout", type=float, default=30.0,
+                             help="per-task limit of the faulty run (catches "
+                                  "injected hangs)")
+    chaos_suite.add_argument("--retry-timeouts", type=int, default=2,
+                             help="timeout escalation rounds")
+    chaos_suite.add_argument("--retry-crashes", type=int, default=5,
+                             help="crash retry rounds")
+    chaos_suite.add_argument("--retry-backoff", type=float, default=0.05,
+                             metavar="SECONDS",
+                             help="initial crash-retry backoff")
+    chaos_suite.add_argument("--inject-faults", required=True, metavar="SPEC",
+                             help="the fault spec to run under (required; see "
+                                  "docs/robustness.md)")
+    chaos_suite.add_argument("--events", default=None, metavar="PATH.jsonl",
+                             help="write one JSONL event per fired fault here "
+                                  "(truncated first; CI uploads it)")
+    chaos_suite.add_argument("--output", default=None,
+                             help="also write the faulty run's canonical "
+                                  "artifact here")
+    chaos_suite.set_defaults(func=_cmd_chaos)
+
+    chaos_serve = chaos_sub.add_parser(
+        "serve", help="soak a faulty 'repro serve' subprocess, then prove "
+                      "the SIGTERM graceful drain"
+    )
+    chaos_serve.add_argument("problems", nargs="*",
+                             help="registered problem names the soak rotates "
+                                  "through (default: POW9 BARTH4)")
+    chaos_serve.add_argument("--algorithms", default=None,
+                             help="comma-separated list (default: paper set)")
+    chaos_serve.add_argument("--requests", type=int, default=12,
+                             help="soak requests to drive to an ok answer")
+    chaos_serve.add_argument("--workers", type=int, default=2,
+                             help="server worker pool size")
+    chaos_serve.add_argument("--scale", type=float, default=0.05,
+                             help="surrogate scale of the soak cells")
+    chaos_serve.add_argument("--retries", type=int, default=6,
+                             help="client retry budget per request (both the "
+                                  "transport retries and the outer "
+                                  "crashed-answer rounds)")
+    chaos_serve.add_argument("--retry-backoff", type=float, default=0.2,
+                             metavar="SECONDS",
+                             help="initial client retry backoff")
+    chaos_serve.add_argument("--breaker-threshold", type=int, default=3,
+                             help="server circuit-breaker crash threshold")
+    chaos_serve.add_argument("--breaker-cooldown", type=float, default=1.5,
+                             metavar="SECONDS",
+                             help="server breaker cooldown (kept short so the "
+                                  "soak rides through open/half-open cycles)")
+    chaos_serve.add_argument("--drain-grace", type=float, default=20.0,
+                             metavar="SECONDS",
+                             help="server drain grace period")
+    chaos_serve.add_argument("--inject-faults", required=True, metavar="SPEC",
+                             help="the fault spec the server runs under")
+    chaos_serve.add_argument("--events", default=None, metavar="PATH.jsonl",
+                             help="fired-fault event log (truncated first)")
+    chaos_serve.add_argument("--journal", default=None, metavar="PATH.jsonl",
+                             help="server job journal path (default: a "
+                                  "temporary file; the drain proof replays it)")
+    chaos_serve.set_defaults(func=_cmd_chaos)
 
     spy_parser = sub.add_parser("spy", help="ASCII structure plot under an ordering")
     spy_parser.add_argument("input", help="matrix file or problem:NAME[@SCALE]")
@@ -1216,6 +1429,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="largest accepted inline/uploaded matrix order")
     serve_parser.add_argument("--no-debug-delay", action="store_true",
                               help="reject requests carrying the debug_delay_s test knob")
+    serve_parser.add_argument("--breaker-threshold", type=int, default=3,
+                              help="consecutive worker crashes per algorithm "
+                                   "before its circuit breaker opens (503 + "
+                                   "Retry-After; 0 disables breaking)")
+    serve_parser.add_argument("--breaker-cooldown", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="seconds an open breaker sheds requests "
+                                   "before admitting a half-open probe")
+    serve_parser.add_argument("--drain-grace", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="upper bound on how long a SIGTERM graceful "
+                                   "drain waits for in-flight work")
+    serve_parser.add_argument("--inject-faults", default=None, metavar="SPEC",
+                              help="activate deterministic fault injection "
+                                   "(exported as REPRO_FAULTS; see "
+                                   "docs/robustness.md)")
     serve_parser.set_defaults(func=_cmd_serve)
 
     order_parser = sub.add_parser(
@@ -1236,6 +1465,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-request compute budget forwarded to the server")
     order_parser.add_argument("--client-timeout", type=float, default=60.0,
                               help="HTTP client socket timeout in seconds")
+    order_parser.add_argument("--retries", type=int, default=0,
+                              help="retry transient failures (connection "
+                                   "refused/reset, read timeout, 429/503) up "
+                                   "to N times, honoring Retry-After and "
+                                   "otherwise backing off exponentially")
+    order_parser.add_argument("--retry-backoff", type=float, default=0.5,
+                              metavar="SECONDS",
+                              help="initial retry backoff (doubles per "
+                                   "attempt, capped at 30 s)")
     order_parser.add_argument("--json", action="store_true",
                               help="print the canonical record + permutation as JSON")
     order_parser.add_argument("--output-permutation", default=None,

@@ -21,12 +21,15 @@ or programmatically::
 
 from repro.serve.api import OrderSpec, inline_label, parse_order_request
 from repro.serve.app import OrderingServer, ServeConfig
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
 from repro.serve.client import ServerClient, ServerError
-from repro.serve.jobs import Job, JobJournal, JobRegistry
+from repro.serve.jobs import Job, JobJournal, JobRegistry, ReplayedJobs
 from repro.serve.pool import PoolSaturated, WorkerPool
 from repro.serve.protocol import ProtocolError, Request, json_response, read_request
 
 __all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
     "Job",
     "JobJournal",
     "JobRegistry",
@@ -34,6 +37,7 @@ __all__ = [
     "OrderingServer",
     "PoolSaturated",
     "ProtocolError",
+    "ReplayedJobs",
     "Request",
     "ServeConfig",
     "ServerClient",

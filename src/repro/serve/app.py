@@ -33,11 +33,15 @@ for the same cells — the server builds the very same
 from __future__ import annotations
 
 import asyncio
+import itertools
+import math
 import time
 import traceback
 from dataclasses import dataclass
 
+from repro import faults
 from repro.serve.api import DEFAULT_MAX_INLINE_N, parse_order_request
+from repro.serve.breaker import BreakerBoard
 from repro.serve.jobs import JobJournal, JobRegistry
 from repro.serve.pool import PoolSaturated, WorkerPool
 from repro.serve.protocol import (
@@ -67,6 +71,13 @@ class ServeConfig:
     job_capacity: int = 1024
     read_timeout_s: float = 30.0
     allow_delay: bool = True
+    #: Consecutive worker crashes per algorithm before its circuit breaker
+    #: opens (<= 0 disables circuit breaking).
+    breaker_threshold: int = 3
+    #: Seconds an open breaker sheds requests before admitting a probe.
+    breaker_cooldown_s: float = 30.0
+    #: Upper bound on how long a SIGTERM drain waits for in-flight work.
+    drain_grace_s: float = 30.0
 
 
 class OrderingServer:
@@ -81,12 +92,23 @@ class OrderingServer:
             mode=self.config.worker_mode,
         )
         self.jobs = JobRegistry(capacity=self.config.job_capacity)
+        self.breakers = BreakerBoard(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
         self.journal = None
         self.replayed_jobs = 0
+        self.replay_skipped = 0
         if self.config.journal:
-            self.replayed_jobs = len(JobJournal.replay(self.config.journal)) \
-                if _journal_exists(self.config.journal) else 0
+            if _journal_exists(self.config.journal):
+                replayed = JobJournal.replay(self.config.journal)
+                self.replayed_jobs = len(replayed)
+                self.replay_skipped = getattr(replayed, "skipped", 0)
             self.journal = JobJournal(self.config.journal, append=True)
+        self.draining = False
+        self._drain_requested = asyncio.Event()
+        self._open_connections = 0
+        self._drop_counter = itertools.count(1)
         self._inflight: dict[str, asyncio.Task] = {}
         self._server: asyncio.AbstractServer | None = None
         self._started_monotonic = time.monotonic()
@@ -95,8 +117,13 @@ class OrderingServer:
             "requests_total": 0,
             "order": 0,
             "shed": 0,
+            "breaker_rejected": 0,
+            "drain_rejected": 0,
             "computations": 0,
             "coalesced": 0,
+            "dropped_responses": 0,
+            "journaled": 0,
+            "journal_write_errors": 0,
             "responses": {"2xx": 0, "3xx": 0, "4xx": 0, "5xx": 0},
         }
 
@@ -117,6 +144,39 @@ class OrderingServer:
         async with self._server:
             await self._server.serve_forever()
 
+    def begin_drain(self) -> None:
+        """Enter graceful drain (the SIGTERM handler): stop admitting new
+        orders — they get ``503`` + ``Retry-After`` — while health checks
+        and job polling keep answering and in-flight work runs to
+        completion.  Idempotent; safe to call from a signal handler running
+        on the event loop."""
+        self.draining = True
+        self._drain_requested.set()
+
+    async def run_until_drained(self) -> None:
+        """Serve until a drain is requested, then until in-flight work ends.
+
+        The graceful-shutdown counterpart of :meth:`serve_forever`: the
+        listener stays up the whole time (pollers must be able to collect
+        async results during the drain), so "drained" means no computation
+        in flight, nothing queued, and no connection mid-request — bounded
+        by ``drain_grace_s`` so a wedged worker cannot hold the process
+        hostage forever.  The caller then runs :meth:`close`, which flushes
+        and closes the journal.
+        """
+        assert self._server is not None, "call start() first"
+        await self._drain_requested.wait()
+        deadline = time.monotonic() + self.config.drain_grace_s
+        while time.monotonic() < deadline:
+            busy = (self._inflight or self.pool.busy or self.pool.queued
+                    or self._open_connections)
+            if not busy:
+                break
+            await asyncio.sleep(0.02)
+        # One final beat lets async-mode _finish_job callbacks scheduled by
+        # the last computation run before the journal closes.
+        await asyncio.sleep(0.05)
+
     async def close(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -130,6 +190,7 @@ class OrderingServer:
     # ------------------------------------------------------------------ #
     async def _handle_connection(self, reader, writer) -> None:
         """One request -> one response -> close.  Never raises."""
+        self._open_connections += 1
         try:
             try:
                 request = await asyncio.wait_for(
@@ -154,11 +215,18 @@ class OrderingServer:
                     "traceback": traceback.format_exc(),
                 }})
             self._count_response(response)
+            if faults.fires("http.drop", f"response#{next(self._drop_counter)}") is not None:
+                # Injected network failure: the response was computed (and
+                # journaled) but the bytes never reach the client — the case
+                # client-side retries must absorb.
+                self.counters["dropped_responses"] += 1
+                return
             writer.write(response)
             await writer.drain()
         except (ConnectionError, BrokenPipeError, OSError, asyncio.CancelledError):
             pass  # the client vanished; nothing to answer
         finally:
+            self._open_connections -= 1
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -183,7 +251,7 @@ class OrderingServer:
         if path == "/healthz":
             if request.method != "GET":
                 return self._method_not_allowed("GET")
-            return json_response(200, {"status": "ok"})
+            return json_response(200, self.health())
         if path == "/statsz":
             if request.method != "GET":
                 return self._method_not_allowed("GET")
@@ -231,6 +299,16 @@ class OrderingServer:
     # ------------------------------------------------------------------ #
     async def _handle_order(self, request) -> bytes:
         self.counters["order"] += 1
+        if self.draining:
+            self.counters["drain_rejected"] += 1
+            return json_response(
+                503,
+                {"error": {"type": "ServerDraining",
+                           "message": "server is draining for shutdown; "
+                                      "retry against another instance"},
+                 "retry_after_s": self.config.retry_after_s},
+                extra_headers={"Retry-After": str(self.config.retry_after_s)},
+            )
         spec = parse_order_request(
             request.json(),
             max_inline_n=self.config.max_inline_n,
@@ -240,9 +318,26 @@ class OrderingServer:
         future = self._inflight.get(spec.key)
         coalesced = future is not None
         if not coalesced:
+            algorithm = spec.task.algorithm
+            allowed, retry_in = self.breakers.allow(algorithm)
+            if not allowed:
+                self.counters["breaker_rejected"] += 1
+                retry_after = max(1, math.ceil(retry_in))
+                return json_response(
+                    503,
+                    {"error": {"type": "CircuitOpen",
+                               "message": f"algorithm {algorithm!r} is "
+                                          f"circuit-broken after repeated "
+                                          f"worker crashes"},
+                     "retry_after_s": retry_after},
+                    extra_headers={"Retry-After": str(retry_after)},
+                )
             try:
                 self.pool.reserve()
             except PoolSaturated as exc:
+                # The breaker admitted (possibly a half-open probe) but no
+                # computation will run: release the probe.
+                self.breakers.abort(algorithm)
                 self.counters["shed"] += 1
                 return json_response(
                     429,
@@ -284,12 +379,21 @@ class OrderingServer:
 
     async def _compute(self, spec):
         """The single computation behind one coalescing key."""
+        algorithm = spec.task.algorithm
         try:
-            return await self.pool.run(spec.task, spec.pattern,
-                                       timeout=spec.timeout_s,
-                                       delay_s=spec.delay_s)
+            record = await self.pool.run(spec.task, spec.pattern,
+                                         timeout=spec.timeout_s,
+                                         delay_s=spec.delay_s)
+        except BaseException:
+            # Executor-level failure: no record means no outcome to judge,
+            # but a half-open probe must be released or the breaker wedges.
+            self.breakers.abort(algorithm)
+            raise
         finally:
             self._inflight.pop(spec.key, None)
+        crashed = (record.error or {}).get("type") == "WorkerCrashed"
+        self.breakers.record(algorithm, crashed=crashed)
+        return record
 
     async def _finish_job(self, job, future, include_permutation) -> None:
         """Async-mode completion: fill the job when the computation lands."""
@@ -329,12 +433,37 @@ class OrderingServer:
         if self.journal is not None:
             try:
                 self.journal.record_job(job)
+                self.counters["journaled"] += 1
             except OSError:
-                pass  # a full disk must not take the server down
+                # A full disk must not take the server down — but the loss
+                # is counted and degrades /healthz.
+                self.counters["journal_write_errors"] += 1
 
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The ``/healthz`` document.
+
+        A healthy server answers exactly ``{"status": "ok"}``.  Anything
+        less than healthy adds a ``reasons`` list: ``"draining"`` while a
+        graceful shutdown runs, ``"degraded"`` when circuit breakers are
+        open or journal writes are failing — still alive and answering,
+        but a load balancer should prefer other instances.
+        """
+        reasons = []
+        open_algorithms = self.breakers.open_algorithms()
+        if open_algorithms:
+            reasons.append("circuit open: " + ", ".join(open_algorithms))
+        if self.counters["journal_write_errors"]:
+            reasons.append(
+                f"journal write errors: {self.counters['journal_write_errors']}")
+        if self.draining:
+            return {"status": "draining", "reasons": ["draining"] + reasons}
+        if reasons:
+            return {"status": "degraded", "reasons": reasons}
+        return {"status": "ok"}
+
     def statsz(self) -> dict:
         """The ``/statsz`` document (see docs/serving.md for the schema)."""
         from repro.store.core import get_default_store
@@ -350,10 +479,14 @@ class OrderingServer:
         return {
             "engine": "repro.serve",
             "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "draining": self.draining,
             "requests": {
                 "total": self.counters["requests_total"],
                 "order": self.counters["order"],
                 "shed": self.counters["shed"],
+                "breaker_rejected": self.counters["breaker_rejected"],
+                "drain_rejected": self.counters["drain_rejected"],
+                "dropped_responses": self.counters["dropped_responses"],
                 "responses": dict(self.counters["responses"]),
             },
             "coalescing": {
@@ -361,10 +494,14 @@ class OrderingServer:
                 "coalesced": self.counters["coalesced"],
                 "inflight": len(self._inflight),
             },
+            "breakers": self.breakers.stats(),
             "pool": self.pool.stats(),
             "jobs": {"tracked": len(self.jobs),
                      "capacity": self.jobs.capacity,
-                     "replayed_from_journal": self.replayed_jobs},
+                     "replayed_from_journal": self.replayed_jobs,
+                     "journal_skipped": self.replay_skipped,
+                     "journaled": self.counters["journaled"],
+                     "journal_write_errors": self.counters["journal_write_errors"]},
             "store": store_stats,
         }
 

@@ -1,0 +1,175 @@
+"""Per-algorithm circuit breaking for ``repro serve``.
+
+A worker that keeps crashing on one algorithm (a pathological input class, a
+poisoned cache entry, an injected fault spec) should not be allowed to burn a
+pool slot per request forever: after ``threshold`` *consecutive* crashes the
+algorithm's breaker **opens** and requests for it are shed immediately with
+``503`` + ``Retry-After``, costing the server nothing.  After ``cooldown_s``
+the breaker goes **half-open**: exactly one probe request is admitted — a
+success closes the breaker, another crash re-opens it for a fresh cooldown.
+
+The classic three-state machine::
+
+        closed ──(threshold consecutive crashes)──▶ open
+          ▲                                          │
+          │ success                       cooldown elapsed
+          │                                          ▼
+          └──────────── probe ok ────────────── half-open
+                                                     │
+                                          probe crashed ──▶ open
+
+Breakers track *crashes* (a worker died without reporting), not ordinary
+algorithm errors — a cell that raises a clean exception produces a valid
+``"error"`` record and harms nobody else.
+
+``threshold <= 0`` disables the board entirely (every request admitted,
+nothing recorded) — the escape hatch for deployments that prefer raw 500s.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["BreakerBoard", "CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """One algorithm's crash breaker (see the module docstring).
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+
+    >>> clock = lambda: 100.0
+    >>> breaker = CircuitBreaker(threshold=2, cooldown_s=30.0, clock=clock)
+    >>> breaker.allow()
+    (True, 0.0)
+    >>> breaker.record(crashed=True); breaker.record(crashed=True)
+    >>> breaker.state
+    'open'
+    >>> allowed, retry_in = breaker.allow()
+    >>> allowed, round(retry_in, 1)
+    (False, 30.0)
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be positive, got {cooldown_s}")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_crashes = 0
+        self.trips = 0            # closed/half-open -> open transitions
+        self.rejected = 0         # requests shed while open
+        self._opened_at = 0.0
+        self._probing = False     # a half-open probe is in flight
+
+    def allow(self) -> tuple[bool, float]:
+        """Admission decision: ``(allowed, retry_after_s)``.
+
+        ``retry_after_s`` is the remaining cooldown when the request is
+        shed (0.0 when admitted).  An open breaker whose cooldown elapsed
+        transitions to half-open and admits exactly one probe; concurrent
+        requests during the probe are still shed.
+        """
+        if self.state == "open":
+            elapsed = self._clock() - self._opened_at
+            if elapsed < self.cooldown_s:
+                self.rejected += 1
+                return False, self.cooldown_s - elapsed
+            self.state = "half-open"
+            self._probing = False
+        if self.state == "half-open":
+            if self._probing:
+                self.rejected += 1
+                return False, self.cooldown_s
+            self._probing = True
+        return True, 0.0
+
+    def record(self, *, crashed: bool) -> None:
+        """Report the outcome of an admitted computation."""
+        if crashed:
+            self.consecutive_crashes += 1
+            if self.state == "half-open" or self.consecutive_crashes >= self.threshold:
+                self._trip()
+        else:
+            self.state = "closed"
+            self.consecutive_crashes = 0
+            self._probing = False
+
+    def abort(self) -> None:
+        """An admitted request never reached a computation (pool saturated,
+        executor error): release the half-open probe so the breaker cannot
+        wedge waiting for an outcome that will never arrive."""
+        self._probing = False
+
+    def _trip(self) -> None:
+        self.state = "open"
+        self.trips += 1
+        self._opened_at = self._clock()
+        self._probing = False
+
+    def to_dict(self) -> dict:
+        payload = {
+            "state": self.state,
+            "consecutive_crashes": int(self.consecutive_crashes),
+            "trips": int(self.trips),
+            "rejected": int(self.rejected),
+        }
+        if self.state == "open":
+            remaining = self.cooldown_s - (self._clock() - self._opened_at)
+            payload["retry_after_s"] = round(max(0.0, remaining), 3)
+        return payload
+
+
+class BreakerBoard:
+    """Per-algorithm :class:`CircuitBreaker` collection (lazily created).
+
+    ``threshold <= 0`` disables the board: :meth:`allow` always admits and
+    :meth:`record` is a no-op, so a disabled server carries zero state.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0,
+                 clock=time.monotonic):
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def _breaker_for(self, algorithm: str) -> CircuitBreaker:
+        breaker = self._breakers.get(algorithm)
+        if breaker is None:
+            breaker = self._breakers[algorithm] = CircuitBreaker(
+                threshold=self.threshold, cooldown_s=self.cooldown_s,
+                clock=self._clock)
+        return breaker
+
+    def allow(self, algorithm: str) -> tuple[bool, float]:
+        if not self.enabled:
+            return True, 0.0
+        return self._breaker_for(algorithm).allow()
+
+    def record(self, algorithm: str, *, crashed: bool) -> None:
+        if self.enabled:
+            self._breaker_for(algorithm).record(crashed=crashed)
+
+    def abort(self, algorithm: str) -> None:
+        if self.enabled and algorithm in self._breakers:
+            self._breakers[algorithm].abort()
+
+    def open_algorithms(self) -> list[str]:
+        """Algorithms currently shedding requests (open, cooldown running)."""
+        return sorted(name for name, breaker in self._breakers.items()
+                      if breaker.state == "open")
+
+    def stats(self) -> dict:
+        """Per-algorithm breaker state for ``/statsz`` (empty when disabled
+        or untouched)."""
+        return {name: breaker.to_dict()
+                for name, breaker in sorted(self._breakers.items())}

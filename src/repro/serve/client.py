@@ -6,12 +6,24 @@ server test layer.  Only :mod:`urllib.request` — no new dependencies.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
 
 __all__ = ["ServerClient", "ServerError"]
+
+#: Transport-level failures worth retrying: a server not (yet) listening,
+#: a connection dropped mid-request, a read that timed out.  ``URLError``
+#: wraps ``ConnectionRefusedError``/``ConnectionResetError`` on the urllib
+#: path; the bare exceptions cover direct socket surfacing.
+_RETRYABLE_ERRORS = (urllib.error.URLError, ConnectionError, TimeoutError,
+                    http.client.HTTPException)
+
+#: HTTP statuses that mean "try again later": saturation (429) and a
+#: draining server or an open circuit breaker (503).
+_RETRYABLE_STATUSES = (429, 503)
 
 
 class ServerError(Exception):
@@ -75,6 +87,42 @@ class ServerClient:
         """``POST /v1/order``; raises :class:`ServerError` on non-2xx."""
         return self._checked("POST", "/v1/order", payload)
 
+    def order_with_retries(self, payload: dict, *, retries: int = 0,
+                           backoff_s: float = 0.5, max_backoff_s: float = 30.0,
+                           sleep=time.sleep) -> dict:
+        """``POST /v1/order`` surviving transient failures — the
+        ``repro order --retries N`` path.
+
+        Retries up to ``retries`` times on connection-level failures
+        (refused — the server is still booting or briefly down — reset, read
+        timeout) and on ``429``/``503`` answers, honoring a numeric
+        ``Retry-After`` header when the server sent one and otherwise
+        backing off exponentially (``backoff_s * 2**attempt``, capped at
+        ``max_backoff_s``).  Any other non-2xx answer raises immediately —
+        a 400 will not get better by waiting.  The final failure propagates
+        as-is (:class:`ServerError` or the transport exception).
+        """
+        retries = int(retries)
+        attempt = 0
+        while True:
+            delay = min(float(backoff_s) * (2.0 ** attempt), float(max_backoff_s))
+            try:
+                status, headers, body = self.request("POST", "/v1/order", payload)
+            except _RETRYABLE_ERRORS:
+                if attempt >= retries:
+                    raise
+            else:
+                if status in (200, 202):
+                    return body
+                if status not in _RETRYABLE_STATUSES or attempt >= retries:
+                    raise ServerError(status, body, headers)
+                retry_after = _retry_after_s(headers)
+                if retry_after is not None:
+                    delay = min(retry_after, float(max_backoff_s))
+            attempt += 1
+            if delay > 0:
+                sleep(delay)
+
     def job(self, job_id: str) -> dict:
         return self._checked("GET", f"/v1/jobs/{job_id}")["job"]
 
@@ -99,6 +147,21 @@ class ServerClient:
 
     def algorithms(self) -> dict:
         return self._checked("GET", "/v1/algorithms")
+
+
+def _retry_after_s(headers) -> float | None:
+    """A numeric ``Retry-After`` value in seconds, or ``None``.
+
+    Header lookup is case-insensitive; the HTTP-date flavour of the header
+    is ignored (the server only ever sends delta-seconds).
+    """
+    for name, value in (headers or {}).items():
+        if str(name).lower() == "retry-after":
+            try:
+                return max(0.0, float(str(value).strip()))
+            except ValueError:
+                return None
+    return None
 
 
 def _decode(raw: bytes):

@@ -24,9 +24,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.batch.stream import TruncatedStreamError, read_jsonl_objects
+from repro.batch.stream import TruncatedStreamError, read_jsonl_objects_partial
 
-__all__ = ["Job", "JobJournal", "JobRegistry", "JOURNAL_SCHEMA_VERSION"]
+__all__ = ["Job", "JobJournal", "JobRegistry", "JOURNAL_SCHEMA_VERSION",
+           "ReplayedJobs"]
 
 #: Version of the journal line schema.
 JOURNAL_SCHEMA_VERSION = 1
@@ -111,6 +112,22 @@ class JobRegistry:
         job.permutation = permutation
 
 
+class ReplayedJobs(list):
+    """The job dictionaries replayed from a journal, plus loss accounting.
+
+    Behaves exactly like the plain list :meth:`JobJournal.replay` used to
+    return (so ``replayed == []`` and iteration keep working); ``skipped``
+    counts the lines that did *not* replay — damaged/unparseable lines
+    anywhere in the file and unknown line kinds — so the boot line and
+    ``/statsz`` can report replayed and skipped separately instead of
+    conflating them.
+    """
+
+    def __init__(self, jobs=(), *, skipped: int = 0):
+        super().__init__(jobs)
+        self.skipped = int(skipped)
+
+
 class JobJournal:
     """Append-only JSONL journal of finished jobs (crash-tolerant on read).
 
@@ -136,34 +153,61 @@ class JobJournal:
                 "journal_schema": JOURNAL_SCHEMA_VERSION,
             })
 
-    def _write_line(self, payload: dict) -> None:
+    def _write_line(self, payload: dict, *, fault_key: str | None = None) -> None:
+        if fault_key is not None:
+            from repro import faults
+
+            faults.flaky_io("journal.flaky", fault_key)
         self._file.write(json.dumps(payload, sort_keys=True) + "\n")
         self._file.flush()
 
-    def record_job(self, job: Job) -> None:
-        """Append one finished job (result included) and flush."""
-        self._write_line({"kind": "job", **job.to_dict()})
+    def record_job(self, job: Job, *, retries: int = 2) -> None:
+        """Append one finished job (result included) and flush.
+
+        Journal writes retry ``retries`` times on :class:`OSError` (a flaky
+        volume, an injected ``journal.flaky`` fault) before giving up —
+        losing a journal line degrades replay, so transient write failures
+        are worth absorbing; the final failure propagates for the server to
+        count.
+        """
+        payload = {"kind": "job", **job.to_dict()}
+        for attempt in range(int(retries) + 1):
+            try:
+                self._write_line(payload, fault_key=f"{job.id}#a{attempt}")
+                return
+            except OSError:
+                if attempt >= retries:
+                    raise
 
     def close(self) -> None:
         self._file.close()
 
     @staticmethod
-    def replay(path) -> list[dict]:
+    def replay(path) -> "ReplayedJobs":
         """Read a journal back into its job dictionaries.
 
-        Tolerates a truncated final line exactly as ``--resume`` does (the
-        shared :func:`repro.batch.stream.read_jsonl_objects` reader); an
-        empty or header-truncated journal replays as no jobs.  Unknown line
-        kinds are skipped (forward compatibility), but a journal that does
-        not start with a ``repro.serve`` header is rejected.
+        Salvages every complete ``"job"`` line and *counts* what did not
+        replay: damaged/unparseable lines anywhere in the file (a truncated
+        final write, mid-file corruption) and unknown line kinds (forward
+        compatibility) land in the returned list's ``skipped`` counter
+        instead of being silently conflated with replayed records or — worse
+        — killing the boot.  An empty or header-truncated journal replays as
+        no jobs; a journal that does not start with a ``repro.serve`` header
+        is rejected (unknown provenance must not be replayed).
         """
         try:
-            parsed = read_jsonl_objects(path)
+            parsed, skipped = read_jsonl_objects_partial(path)
         except TruncatedStreamError:
-            return []
+            return ReplayedJobs()
         header = parsed[0]
         if header.get("kind") != "header" or header.get("engine") != _ENGINE_NAME:
             raise ValueError(
                 f"journal file {path} does not start with a repro.serve header"
             )
-        return [line for line in parsed[1:] if line.get("kind") == "job"]
+        jobs = []
+        for line in parsed[1:]:
+            if line.get("kind") == "job":
+                jobs.append(line)
+            else:
+                skipped += 1
+        return ReplayedJobs(jobs, skipped=skipped)

@@ -28,6 +28,7 @@ hits/misses even though they accrue in short-lived children.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import itertools
 import multiprocessing
 import time
@@ -89,7 +90,8 @@ class WorkerPool:
         self.queued = 0
         self.busy = 0
         self.completed = {"ok": 0, "error": 0, "timeout": 0, "crashed": 0}
-        self.store_stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        self.store_stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
+                            "quarantined": 0}
         self.active_pids: dict[int, int] = {}
         self._tokens = itertools.count(1)
         self._semaphore = asyncio.Semaphore(self.workers)
@@ -160,12 +162,17 @@ class WorkerPool:
     def _run_subprocess(self, task, pattern, limit, delay_s):
         context = multiprocessing.get_context()
         receiver, sender = context.Pipe(duplex=False)
+        token = next(self._tokens)
+        # Stamp the computation ordinal onto the task so deterministic
+        # fault-injection draws (repro.faults) vary across repeated
+        # computations of the same cell — a crashed-then-retried request
+        # must be able to draw differently the second time.
+        task = dataclasses.replace(task, attempt=token)
         process = context.Process(
             target=_cell_worker, args=(task, pattern, delay_s, sender), daemon=True
         )
         process.start()
         sender.close()
-        token = next(self._tokens)
         self.active_pids[token] = process.pid
         try:
             deadline = None if limit is None else limit + float(delay_s)

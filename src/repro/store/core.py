@@ -89,7 +89,13 @@ class ArtifactStore:
 
     def __init__(self, root):
         self.root = Path(root)
-        self.stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        self.stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
+                      "quarantined": 0}
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.root / "quarantine"
 
     # ------------------------------------------------------------------ #
     # addressing
@@ -134,7 +140,31 @@ class ArtifactStore:
                     handle, **{_META_KEY: np.array(json.dumps(meta))}, **arrays
                 )
         self.stats["writes"] += 1
+        self._maybe_injure(path, key)
         return path
+
+    @staticmethod
+    def _maybe_injure(path: Path, key: str) -> None:
+        """Fault-injection hook: damage a just-written entry when a
+        ``store.torn`` / ``store.corrupt`` rule fires (no-op otherwise).
+
+        Damage lands *after* the atomic replace — simulating bit rot or a
+        torn device write below the filesystem's durability promises, which
+        the read path must absorb as a miss + quarantine.
+        """
+        from repro import faults
+
+        try:
+            if faults.fires("store.torn", key) is not None:
+                data = path.read_bytes()
+                path.write_bytes(data[: len(data) // 2])
+            elif faults.fires("store.corrupt", key) is not None:
+                data = bytearray(path.read_bytes())
+                if data:
+                    data[len(data) // 2] ^= 0xFF
+                    path.write_bytes(bytes(data))
+        except OSError:  # pragma: no cover - injury failing is a non-event
+            pass
 
     def load(self, kind: str, builder_version: int, pattern_digest: str,
              params: dict | None = None) -> dict | None:
@@ -177,12 +207,33 @@ class ArtifactStore:
         return arrays
 
     def _evict_corrupt(self, path: Path) -> None:
+        """Remove a corrupt/stale entry from the addressable space.
+
+        The entry is *quarantined* — moved to ``<root>/quarantine/`` — not
+        deleted, so the evidence of bit rot, torn writes or version skew
+        survives for inspection (``repro cache info`` counts it; ``repro
+        cache clear --quarantine`` reclaims it).  Either way the entry stops
+        being addressable, so the caller's "corrupt is a miss" contract is
+        unchanged.  Falls back to deletion when the move itself fails.
+        """
         self.stats["corrupt"] += 1
         self.stats["misses"] += 1
+        target = self.quarantine_dir / path.name
         try:
-            path.unlink()
-        except OSError:  # pragma: no cover - racing eviction is fine
-            pass
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            self.stats["quarantined"] += 1
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing eviction is fine
+                pass
+
+    def quarantined_entries(self) -> list[Path]:
+        """Paths of quarantined (corrupt, no longer addressable) entries."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(p for p in self.quarantine_dir.iterdir() if p.is_file())
 
     # ------------------------------------------------------------------ #
     # maintenance (the ``repro cache`` surface)
@@ -216,16 +267,24 @@ class ArtifactStore:
             rows.append(row)
         return rows
 
-    def clear(self) -> int:
-        """Delete every entry (and stray temp files); returns entries removed."""
+    def clear(self, include_quarantine: bool = False) -> int:
+        """Delete every entry (and stray temp files); returns entries removed.
+
+        Quarantined entries are *kept* by default — they are evidence of
+        corruption, not cache state — and reclaimed only with
+        ``include_quarantine=True`` (``repro cache clear --quarantine``).
+        """
         removed = 0
         objects = self.root / "objects"
-        if not objects.is_dir():
-            return 0
-        for path in objects.glob("*/*"):
-            is_entry = path.suffix == ".npz" and not path.name.startswith(".")
-            path.unlink(missing_ok=True)
-            removed += int(is_entry)
+        if objects.is_dir():
+            for path in objects.glob("*/*"):
+                is_entry = path.suffix == ".npz" and not path.name.startswith(".")
+                path.unlink(missing_ok=True)
+                removed += int(is_entry)
+        if include_quarantine:
+            for path in self.quarantined_entries():
+                path.unlink(missing_ok=True)
+                removed += 1
         return removed
 
     def info(self) -> dict:
@@ -239,12 +298,17 @@ class ArtifactStore:
             bucket["bytes"] += row["bytes"]
             total_bytes += row["bytes"]
             count += 1
+        quarantined = self.quarantined_entries()
         return {
             "root": str(self.root),
             "store_schema": STORE_SCHEMA_VERSION,
             "entries": count,
             "bytes": total_bytes,
             "kinds": kinds,
+            "quarantine": {
+                "entries": len(quarantined),
+                "bytes": sum(p.stat().st_size for p in quarantined),
+            },
             "process_stats": dict(self.stats),
         }
 

@@ -273,3 +273,62 @@ class TestDedupeRecords:
         assert [(r.problem, r.status) for r in deduped] == \
             [("A", "ok"), ("B", "ok")]
         assert deduped[0].time_s == pytest.approx(4.0)
+
+
+class TestMergePartial:
+    """``merge_results(allow_missing=True)`` — the ``--allow-partial`` path:
+    torn shards merge with explicit loss accounting instead of failing."""
+
+    def test_missing_cells_counted_not_fatal(self):
+        shards = _shard_runs(3)
+        with pytest.raises(ValueError, match="incomplete shard set"):
+            merge_results(shards[:2])
+        merged = merge_results(shards[:2], allow_missing=True)
+        lost = 4 - sum(len(s.records) for s in shards[:2])
+        assert merged.partial == {"missing_cells": lost}
+        assert len(merged.records) == 4 - lost
+        # present records keep canonical cross-product order
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        kept = {(r.problem, r.algorithm) for r in merged.records}
+        expected = [r for r in full.records
+                    if (r.problem, r.algorithm) in kept]
+        assert ([(r.problem, r.algorithm) for r in merged.records]
+                == [(r.problem, r.algorithm) for r in expected])
+
+    def test_complete_set_stays_unmarked_even_when_allowed(self):
+        merged = merge_results(_shard_runs(2), allow_missing=True)
+        assert merged.partial is None
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        assert (merged.to_json(include_timing=False)
+                == full.to_json(include_timing=False))
+
+    def test_per_input_loss_counters_aggregate(self, tmp_path):
+        # A shard stream whose torn line dropped one cell: the merged
+        # artifact carries *both* the dropped-line count and the cell loss.
+        full = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        from repro.batch import StreamWriter, stream_header as make_header
+
+        path = tmp_path / "shard.jsonl"
+        header = make_header(PROBLEMS, list(ALGORITHMS), scale=SCALE,
+                             base_seed=0, shard=None, total_tasks=4)
+        with StreamWriter(path, header) as writer:
+            for record in full.records:
+                writer.write_record(record)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:25]                  # tear one mid-file record
+        path.write_text("\n".join(lines) + "\n")
+
+        salvaged = suite_from_stream(path, allow_partial=True)
+        assert salvaged.partial == {"dropped_lines": 1}
+        merged = merge_results([salvaged], allow_missing=True)
+        assert merged.partial == {"dropped_lines": 1, "missing_cells": 1}
+
+    def test_partial_marker_survives_artifact_round_trip(self, tmp_path):
+        shards = _shard_runs(3)
+        merged = merge_results(shards[:2], allow_missing=True)
+        path = merged.save(tmp_path / "partial.json")
+        reloaded = SuiteResult.load(path)
+        assert reloaded.partial == merged.partial
+        payload = json.loads(path.read_text())
+        assert payload["partial"] == {k: int(v)
+                                      for k, v in merged.partial.items()}

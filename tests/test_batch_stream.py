@@ -365,3 +365,74 @@ class TestBalancePinnedHeader:
                           on_record=lambda r, d, t: executed.append(r))
         assert suite.records == [stale]          # verbatim, still a timeout
         assert executed == [stale]               # replayed once, never re-run
+
+
+class TestPartialRead:
+    """The lossy ``--allow-partial`` read path: salvage complete records
+    from a damaged stream, count exactly what was dropped."""
+
+    def _write_stream(self, path, *, damage=()):
+        suite = run_suite(PROBLEMS, ALGORITHMS, scale=SCALE)
+        with StreamWriter(path, _header()) as writer:
+            for record in suite.records:
+                writer.write_record(record)
+        if damage:
+            lines = path.read_text().splitlines()
+            for index, replacement in damage:
+                lines[index] = replacement
+            path.write_text("\n".join(lines) + "\n")
+        return suite
+
+    def test_clean_stream_has_no_partial_marker(self, tmp_path):
+        from repro.batch import suite_from_stream
+
+        path = tmp_path / "run.jsonl"
+        suite = self._write_stream(path)
+        salvaged = suite_from_stream(path, allow_partial=True)
+        assert salvaged.partial is None
+        assert (salvaged.to_json(include_timing=False)
+                == suite.to_json(include_timing=False))
+
+    def test_mid_file_damage_salvaged_and_counted(self, tmp_path):
+        from repro.batch import read_stream_partial, suite_from_stream
+
+        path = tmp_path / "run.jsonl"
+        self._write_stream(path, damage=[(2, "{torn json"),
+                                         (3, '{"kind": "mystery"}')])
+        with pytest.raises(ValueError, match="corrupt"):
+            read_stream(path)                     # strict path still rejects
+        header, records, dropped = read_stream_partial(path)
+        assert header["kind"] == "header"
+        assert len(records) == 2 and dropped == 2
+        salvaged = suite_from_stream(path, allow_partial=True)
+        assert salvaged.partial == {"dropped_lines": 2}
+
+    def test_invalid_record_payload_counted_not_fatal(self, tmp_path):
+        from repro.batch import read_stream_partial
+
+        path = tmp_path / "run.jsonl"
+        self._write_stream(path, damage=[(1, json.dumps({"kind": "record"}))])
+        _header_read, records, dropped = read_stream_partial(path)
+        assert len(records) == 3 and dropped == 1
+
+    def test_headerless_stream_rejected_even_partial(self, tmp_path):
+        from repro.batch import read_stream_partial
+
+        path = tmp_path / "run.jsonl"
+        self._write_stream(path, damage=[(0, "{torn header")])
+        with pytest.raises(ValueError, match="header"):
+            read_stream_partial(path)             # provenance is not optional
+
+    def test_read_jsonl_objects_partial_counts_non_objects(self, tmp_path):
+        from repro.batch import read_jsonl_objects_partial
+        from repro.batch.stream import TruncatedStreamError
+
+        path = tmp_path / "lines.jsonl"
+        path.write_text('{"a": 1}\n[1, 2]\nnot json\n{"b": 2}\n{"c": 3')
+        parsed, dropped = read_jsonl_objects_partial(path)
+        assert parsed == [{"a": 1}, {"b": 2}]
+        assert dropped == 3                       # array, garbage, torn tail
+
+        path.write_text("{nothing complete")
+        with pytest.raises(TruncatedStreamError):
+            read_jsonl_objects_partial(path)

@@ -643,3 +643,65 @@ class TestTimeoutAutoAndFiedlerPolicy:
                      "--scale", "0.02", "--fiedler-policy", "fast",
                      "--no-progress"])
         assert code == 0
+
+
+class TestMergeAllowPartialCli:
+    ARGS = ["suite", "POW9", "--algorithms", "rcm,gps", "--scale", "0.02",
+            "--no-progress"]
+
+    def _torn_stream(self, tmp_path):
+        stream = tmp_path / "run.jsonl"
+        assert main(self.ARGS + ["--stream-output", str(stream)]) == 0
+        lines = stream.read_text().splitlines()
+        # Tear the *first* record: mid-file damage, which the strict reader
+        # rejects as corruption (a torn final line would merely resume).
+        lines[1] = lines[1][:25]
+        stream.write_text("\n".join(lines) + "\n")
+        return stream
+
+    def test_torn_stream_rejected_by_default(self, tmp_path, capsys):
+        stream = self._torn_stream(tmp_path)
+        capsys.readouterr()
+        code = main(["merge", str(stream),
+                     "--output", str(tmp_path / "merged.json")])
+        assert code == 2
+        assert "not a valid stream file" in capsys.readouterr().err
+
+    def test_allow_partial_salvages_and_warns(self, tmp_path, capsys):
+        import json
+
+        stream = self._torn_stream(tmp_path)
+        merged_path = tmp_path / "merged.json"
+        capsys.readouterr()
+        code = main(["merge", str(stream), "--allow-partial",
+                     "--output", str(merged_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "dropped 1 damaged line(s)" in captured.err
+        assert "merged artifact is partial" in captured.err
+        assert "dropped_lines=1" in captured.err
+        assert "missing_cells=1" in captured.err
+        payload = json.loads(merged_path.read_text())
+        assert payload["partial"] == {"dropped_lines": 1, "missing_cells": 1}
+        assert len(payload["records"]) == 1
+
+
+class TestChaosCli:
+    def test_invalid_fault_spec_errors(self, capsys):
+        code = main(["chaos", "suite", "POW9",
+                     "--inject-faults", "definitely-not-a-spec"])
+        assert code == 2
+        assert "--inject-faults" in capsys.readouterr().err
+
+    def test_chaos_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos"])
+
+
+class TestOrderRetriesCli:
+    def test_retries_against_dead_server_exhaust_and_fail(self, capsys):
+        # Nothing listens on the port: every attempt is connection-refused.
+        code = main(["order", "problem:POW9@0.02", "--algorithm", "rcm",
+                     "--server", "http://127.0.0.1:9",
+                     "--retries", "1", "--retry-backoff", "0.01"])
+        assert code != 0

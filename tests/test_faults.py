@@ -1,0 +1,336 @@
+"""Deterministic fault injection (repro.faults) and the crash-retry
+machinery it exercises.
+
+The load-bearing invariant, pinned here from several angles: a suite run
+under injected worker crashes / hangs / store damage, given a sufficient
+retry budget, converges to a canonical artifact **byte-identical** to a
+fault-free serial run — and the injected faults remain visible as
+superseded records in the streamed history, never in the final artifact.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.batch import dedupe_records, run_suite
+from repro.batch.engine import _fault_key, execute_task
+from repro.batch.tasks import BatchTask, build_tasks
+from repro.faults import FaultError, FaultPlan
+from repro.store import ArtifactStore
+
+SCALE = 0.02
+
+#: Chosen so that, for ``POW9/gk``, the initial attempt (#a0) and the first
+#: retry (#a1) crash while the second retry (#a2) runs clean — two full
+#: crash-retry rounds, pinned deterministic (see FaultPlan._draw).
+CRASH_SPEC = "seed=9;worker.crash@0.6,point=start"
+#: ``POW9/rcm#a0`` crashes *after* computing (torn result); #a1 is clean.
+FINISH_SPEC = "seed=9;worker.crash@0.5,point=finish"
+#: ``POW9/rcm#a0`` hangs; the first timeout-escalation retry (#a1) is clean.
+HANG_SPEC = "seed=0;worker.hang@0.5,sleep_s=30"
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    for name in ("REPRO_FAULTS", "REPRO_FAULTS_LOG", "REPRO_FAULTS_PROTECT_PID"):
+        monkeypatch.delenv(name, raising=False)
+    faults.reset_fault_plan()
+    yield
+    faults.reset_fault_plan()
+
+
+def _activate(monkeypatch, spec: str) -> None:
+    """Activate a spec the way the CLI does: env + cache reset + protect
+    this (coordinator) process so only forked workers can die."""
+    monkeypatch.setenv("REPRO_FAULTS", spec)
+    faults.reset_fault_plan()
+    faults.protect_current_process()
+
+
+def _deactivate(monkeypatch) -> None:
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset_fault_plan()
+
+
+class TestSpecParsing:
+    def test_round_trip_describe(self):
+        plan = FaultPlan.parse("seed=7;worker.crash@0.25,point=start;store.corrupt@0.5")
+        assert plan.seed == 7
+        assert [r.site for r in plan.rules] == ["worker.crash", "store.corrupt"]
+        assert "worker.crash@0.25,point=start" in plan.describe()
+
+    def test_empty_spec_is_a_plan_with_no_rules(self):
+        plan = FaultPlan.parse("")
+        assert plan.rules == [] and plan.fires("worker.crash", "x") is None
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan.parse("worker.explode@0.5")
+
+    def test_non_numeric_rate_rejected(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            FaultPlan.parse("worker.crash@lots")
+
+    def test_out_of_range_rate_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultPlan.parse("worker.crash@1.5")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="does not take parameter"):
+            FaultPlan.parse("store.corrupt@0.5,point=start")
+
+    def test_bad_directive_rejected(self):
+        with pytest.raises(ValueError, match="invalid fault directive"):
+            FaultPlan.parse("justnonsense")
+        with pytest.raises(ValueError, match="unknown fault directive"):
+            FaultPlan.parse("sede=7")
+
+    def test_crash_point_validated(self):
+        with pytest.raises(ValueError, match="'start' or 'finish'"):
+            FaultPlan.parse("worker.crash@0.5,point=middle")
+
+    def test_sleep_coerced_to_float(self):
+        plan = FaultPlan.parse("worker.hang@1.0,sleep_s=2")
+        assert plan.rules[0].params["sleep_s"] == 2.0
+        with pytest.raises(ValueError, match="must be a number"):
+            FaultPlan.parse("worker.hang@1.0,sleep_s=forever")
+
+
+class TestDeterministicDraws:
+    def test_draws_are_pure_functions_of_seed_site_key(self):
+        a = FaultPlan.parse("seed=7;worker.crash@0.5,point=start")
+        b = FaultPlan.parse("seed=7;worker.crash@0.5,point=start")
+        keys = [f"POW9/rcm#a{k}" for k in range(16)]
+        fires_a = [a.fires("worker.crash", k, point="start") is not None for k in keys]
+        fires_b = [b.fires("worker.crash", k, point="start") is not None for k in keys]
+        assert fires_a == fires_b
+        assert any(fires_a) and not all(fires_a)  # rate 0.5 mixes outcomes
+
+    def test_pinned_draw_sequence(self):
+        # The module-docstring example; a change here means every pinned
+        # chaos spec in tests and CI draws differently — do not let it move.
+        plan = FaultPlan.parse("seed=7;worker.crash@0.5,point=start")
+        assert [plan.fires("worker.crash", f"POW9/rcm#a{k}", point="start")
+                is not None for k in range(4)] == [False, True, False, True]
+
+    def test_rate_zero_never_rate_one_always(self):
+        never = FaultPlan.parse("journal.flaky@0.0")
+        always = FaultPlan.parse("journal.flaky@1.0")
+        for k in range(32):
+            assert never.fires("journal.flaky", f"k{k}") is None
+            assert always.fires("journal.flaky", f"k{k}") is not None
+
+    def test_point_filtering(self):
+        plan = FaultPlan.parse("seed=9;worker.crash@1.0,point=finish")
+        assert plan.fires("worker.crash", "x", point="start") is None
+        assert plan.fires("worker.crash", "x", point="finish") is not None
+
+    def test_event_log_written_on_fire(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        plan = FaultPlan.parse(f"journal.flaky@1.0;log={log}")
+        plan.fires("journal.flaky", "the-key")
+        event = json.loads(log.read_text().splitlines()[0])
+        assert event["site"] == "journal.flaky" and event["key"] == "the-key"
+        assert event["pid"] == os.getpid()
+
+
+class TestPlanResolution:
+    def test_disabled_by_default(self):
+        assert faults.get_fault_plan() is None
+        assert faults.fires("worker.crash", "x") is None
+        faults.worker_faults("x")  # no-op, does not raise or kill
+
+    def test_env_activation_and_cache_invalidation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "journal.flaky@1.0")
+        faults.reset_fault_plan()
+        assert faults.get_fault_plan().rules[0].site == "journal.flaky"
+        monkeypatch.setenv("REPRO_FAULTS", "journal.flaky@0.0")
+        assert faults.get_fault_plan().rules[0].rate == 0.0  # re-parsed
+
+    def test_override_beats_env_and_none_forces_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "journal.flaky@1.0")
+        faults.reset_fault_plan()
+        faults.set_fault_plan("store.torn@1.0")
+        assert faults.get_fault_plan().rules[0].site == "store.torn"
+        faults.set_fault_plan(None)
+        assert faults.get_fault_plan() is None
+        faults.reset_fault_plan()
+        assert faults.get_fault_plan().rules[0].site == "journal.flaky"
+
+    def test_flaky_io_raises_oserror_subclass(self):
+        faults.set_fault_plan("journal.flaky@1.0")
+        with pytest.raises(FaultError) as excinfo:
+            faults.flaky_io("journal.flaky", "k")
+        assert isinstance(excinfo.value, OSError)
+
+    def test_protected_process_survives_certain_crash(self):
+        faults.set_fault_plan("worker.crash@1.0,point=start;worker.hang@1.0,sleep_s=60")
+        faults.protect_current_process()
+        faults.worker_faults("POW9/rcm#a0")  # would SIGKILL us if unprotected
+
+    def test_slow_fires_even_when_protected(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(faults.time, "sleep", slept.append)
+        faults.set_fault_plan("worker.slow@1.0,sleep_s=0.25")
+        faults.protect_current_process()
+        faults.worker_faults("POW9/rcm#a0")
+        assert slept == [0.25]
+
+
+class TestEngineFaultKeys:
+    def test_fault_key_embeds_attempt_ordinal(self):
+        task = build_tasks(["POW9"], ("rcm",), scale=SCALE)[0]
+        assert _fault_key(task) == "POW9/rcm#a0"
+        import dataclasses
+
+        retried = dataclasses.replace(task, attempt=2)
+        assert _fault_key(retried) == "POW9/rcm#a2"
+
+    def test_attempt_never_serialized(self):
+        # The ordinal exists for fault draws only; records and artifacts
+        # must stay byte-identical whatever attempt produced them.
+        task = BatchTask(problem="POW9", algorithm="rcm", scale=SCALE, attempt=3)
+        record = execute_task(task)
+        assert "attempt" not in record.to_dict(include_timing=True)
+
+
+class TestCrashRetry:
+    def _run(self, monkeypatch, spec, **kwargs):
+        _activate(monkeypatch, spec)
+        seen = []
+        try:
+            suite = run_suite(["POW9"], ("rcm", "gk"), scale=SCALE,
+                              on_record=lambda r, d, t: seen.append(r), **kwargs)
+        finally:
+            _deactivate(monkeypatch)
+        return suite, seen
+
+    def _clean(self):
+        return run_suite(["POW9"], ("rcm", "gk"), scale=SCALE)
+
+    def test_crashes_retried_to_byte_identical_artifact(self, monkeypatch):
+        suite, seen = self._run(monkeypatch, CRASH_SPEC,
+                                n_jobs=2, retry_crashes=4, crash_backoff_s=0.01)
+        crashes = [r for r in seen
+                   if (r.error or {}).get("type") == "WorkerCrashed"]
+        assert len(crashes) == 2          # POW9/gk at #a0 and #a1
+        assert all(r.ok for r in suite.records)
+        assert (suite.to_json(include_timing=False)
+                == self._clean().to_json(include_timing=False))
+
+    def test_superseding_record_chain(self, monkeypatch):
+        _suite, seen = self._run(monkeypatch, CRASH_SPEC,
+                                 n_jobs=2, retry_crashes=4, crash_backoff_s=0.01)
+        gk = [r for r in seen if r.algorithm == "gk"]
+        assert [(r.status, (r.error or {}).get("type")) for r in gk] == [
+            ("error", "WorkerCrashed"),
+            ("error", "WorkerCrashed"),
+            ("ok", None),
+        ]
+        # The stream-resume/merge supersede rule collapses the chain to the
+        # final attempt — unchanged from the timeout-escalation semantics.
+        assert dedupe_records(gk)[0].ok
+
+    def test_retry_disabled_keeps_crash_record(self, monkeypatch):
+        suite, _seen = self._run(monkeypatch, CRASH_SPEC, n_jobs=2)
+        by_alg = {r.algorithm: r for r in suite.records}
+        assert by_alg["rcm"].ok
+        assert (by_alg["gk"].error or {}).get("type") == "WorkerCrashed"
+
+    def test_backoff_schedule_monotone_jittered_deterministic(self, monkeypatch):
+        from repro.batch import engine
+
+        delays_a: list = []
+        monkeypatch.setattr(engine, "_sleep", delays_a.append)
+        self._run(monkeypatch, CRASH_SPEC, n_jobs=2, retry_crashes=4,
+                  crash_backoff_s=0.05)
+        delays_b: list = []
+        monkeypatch.setattr(engine, "_sleep", delays_b.append)
+        self._run(monkeypatch, CRASH_SPEC, n_jobs=2, retry_crashes=4,
+                  crash_backoff_s=0.05)
+        assert len(delays_a) == 2          # two crash rounds for POW9/gk
+        for k, delay in enumerate(delays_a):
+            base = 0.05 * 2 ** k
+            assert base <= delay <= 1.5 * base  # jitter in [1, 1.5) x base
+        assert delays_a[0] < delays_a[1]       # exponential growth dominates
+        assert delays_a == delays_b            # jitter is seeded, not random
+
+    def test_finish_point_crash_retried(self, monkeypatch):
+        # The torn-result case: the cell computed, the worker died before
+        # reporting.  Runs on the shared-pool path (no timeout).
+        suite, seen = self._run(monkeypatch, FINISH_SPEC,
+                                n_jobs=2, retry_crashes=2, crash_backoff_s=0.01)
+        assert any((r.error or {}).get("type") == "WorkerCrashed" for r in seen)
+        assert all(r.ok for r in suite.records)
+        assert (suite.to_json(include_timing=False)
+                == self._clean().to_json(include_timing=False))
+
+    def test_hang_caught_by_timeout_and_retried(self, monkeypatch):
+        # Pinned draws for HANG_SPEC at rate 0.5: rcm hangs at #a0 only;
+        # gk hangs at #a0..#a2 and is clean at #a3 — three escalation
+        # rounds are needed to absorb the worst cell.
+        suite, seen = self._run(monkeypatch, HANG_SPEC, n_jobs=2,
+                                timeout=2.0, retry_timeouts=3)
+        assert any(r.timed_out for r in seen)      # the injected hang
+        assert all(r.ok for r in suite.records)    # absorbed by escalation
+        assert (suite.to_json(include_timing=False)
+                == self._clean().to_json(include_timing=False))
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(ValueError, match="retry_crashes"):
+            run_suite(["POW9"], ("rcm",), scale=SCALE, retry_crashes=-1)
+        with pytest.raises(ValueError, match="crash_backoff_s"):
+            run_suite(["POW9"], ("rcm",), scale=SCALE, crash_backoff_s=-0.1)
+
+
+class TestStoreFaults:
+    def _store_with_entry(self, tmp_path, spec):
+        import numpy as np
+
+        store = ArtifactStore(tmp_path / "store")
+        faults.set_fault_plan(spec)
+        try:
+            store.save("laplacian", 1, "digest", {"x": np.arange(4)})
+        finally:
+            faults.set_fault_plan(None)
+            faults.reset_fault_plan()
+        return store
+
+    def test_corrupt_write_quarantined_as_miss(self, tmp_path):
+        store = self._store_with_entry(tmp_path, "store.corrupt@1.0")
+        assert store.load("laplacian", 1, "digest") is None
+        assert store.stats["corrupt"] == 1
+        assert store.stats["quarantined"] == 1
+        assert len(store.quarantined_entries()) == 1
+        assert store.entries() == []  # no longer addressable
+
+    def test_torn_write_quarantined_as_miss(self, tmp_path):
+        store = self._store_with_entry(tmp_path, "store.torn@1.0")
+        assert store.load("laplacian", 1, "digest") is None
+        assert store.stats["quarantined"] == 1
+
+    def test_info_reports_quarantine(self, tmp_path):
+        store = self._store_with_entry(tmp_path, "store.corrupt@1.0")
+        store.load("laplacian", 1, "digest")
+        info = store.info()
+        assert info["quarantine"]["entries"] == 1
+        assert info["quarantine"]["bytes"] > 0
+
+    def test_clear_spares_quarantine_unless_asked(self, tmp_path):
+        store = self._store_with_entry(tmp_path, "store.corrupt@1.0")
+        store.load("laplacian", 1, "digest")
+        assert store.clear() == 0                      # nothing addressable
+        assert len(store.quarantined_entries()) == 1   # evidence kept
+        removed = store.clear(include_quarantine=True)
+        assert removed == 1
+        assert store.quarantined_entries() == []
+
+    def test_no_faults_no_quarantine(self, tmp_path):
+        import numpy as np
+
+        store = ArtifactStore(tmp_path / "store")
+        store.save("laplacian", 1, "digest", {"x": np.arange(4)})
+        assert store.load("laplacian", 1, "digest") is not None
+        assert store.stats["quarantined"] == 0
