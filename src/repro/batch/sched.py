@@ -192,8 +192,11 @@ class CostModel:
                          time_s, n=cell.get("n", 0) or 0, nnz=cell.get("nnz", 0) or 0)
         for kernel in artifact.get("kernels", []):
             name = str(kernel.get("name", ""))
-            parts = name.split("/")
-            if len(parts) != 3 or parts[0] != "orderings" or "@" not in parts[2]:
+            # {prefix}/{algorithm}/{problem}@{scale} — maxsplit keeps problem
+            # names that themselves contain "/" (the RANDOM/* families) whole.
+            parts = name.split("/", 2)
+            if len(parts) != 3 or parts[0] not in ("orderings", "powerlaw") \
+                    or "@" not in parts[2]:
                 continue
             problem, scale_text = parts[2].rsplit("@", 1)
             try:
@@ -220,7 +223,8 @@ class CostModel:
            a fixed default), and the size comes from observations of the
            same problem (rescaled by ``scale**2`` across scales — both
            ``n`` and ``nnz`` grow roughly linearly with the surrogate
-           scale) or from the registry's paper sizes.
+           scale), from the registry's paper sizes, or from the analytic
+           ``expected_n``/``expected_nnz`` of the random generator families.
         """
         problem = str(problem).strip().upper()
         scale = _scale_key(scale)
@@ -260,13 +264,12 @@ class CostModel:
                         for other_scale, size in self._scaled_sizes.get(problem, [])]
             if rescaled:
                 return float(statistics.median(rescaled))
-        from repro.collections.registry import PAPER_PROBLEMS, default_scale
+        from repro.collections.registry import expected_problem_size
 
-        spec = PAPER_PROBLEMS.get(problem)
-        if spec is None:
-            return 1.0
-        effective = default_scale() if scale is None else scale
-        return float(spec.paper_n * spec.paper_nnz) * effective**2
+        # Paper problems: the paper's sizes rescaled by scale**2.  Random
+        # generator families: their analytic expected_n * expected_nnz.
+        # Unknown problems: the neutral weight 1.0.
+        return expected_problem_size(problem, scale)
 
     def fingerprint(self) -> str:
         """Short stable digest of the observation table.
@@ -412,8 +415,13 @@ def auto_timeout(cost_model: CostModel):
     Returns a callable ``task -> float | None`` for
     :func:`repro.batch.engine.run_suite`'s ``timeout`` parameter: cells the
     model has *directly* observed get ``max(estimate * AUTO_TIMEOUT_SAFETY,
-    AUTO_TIMEOUT_FLOOR_S)`` seconds; unseen cells get ``None`` (no limit —
-    an ``n * nnz`` extrapolation is no basis for killing a task).
+    AUTO_TIMEOUT_FLOOR_S)`` seconds.  Unseen *paper* cells get ``None`` (no
+    limit — an ``n * nnz`` extrapolation from paper tables is no basis for
+    killing a task), but unseen cells of the analytic generator families
+    (``RANDOM/*``, whose specs carry exact ``expected_n``/``expected_nnz``
+    functions) are bounded by the same ``estimate * safety`` formula: their
+    size estimate is analytic rather than guessed, and an unbounded cell at
+    n~10^6 is precisely the hang the scale-stress tier must never allow.
 
     >>> from repro.batch.tasks import BatchTask
     >>> model = CostModel()
@@ -423,10 +431,15 @@ def auto_timeout(cost_model: CostModel):
     1.0
     >>> policy(BatchTask(problem="POW9", algorithm="spectral", scale=0.02)) is None
     True
+    >>> limit = policy(BatchTask(problem="RANDOM/BA", algorithm="rcm", scale=0.001))
+    >>> limit is not None and limit > 0
+    True
     """
+    from repro.collections.registry import has_analytic_size
 
     def timeout_for(task) -> float | None:
-        if not cost_model.observed_cell(task.problem, task.algorithm, task.scale):
+        observed = cost_model.observed_cell(task.problem, task.algorithm, task.scale)
+        if not observed and not has_analytic_size(task.problem):
             return None
         return max(
             AUTO_TIMEOUT_FLOOR_S,

@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-from repro.collections.registry import PAPER_PROBLEMS
+from repro.collections.registry import all_problems, get_problem_spec
 from repro.orderings.registry import ORDERING_ALGORITHMS
 
 __all__ = [
@@ -137,10 +137,10 @@ def build_task(
     problem = str(problem).strip()
     if check_problem:
         problem = problem.upper()
-    if check_problem and problem not in PAPER_PROBLEMS:
+    if check_problem and get_problem_spec(problem) is None:
         raise ValueError(
             f"unknown problem(s) {[problem]}; "
-            f"available: {', '.join(sorted(PAPER_PROBLEMS))}"
+            f"available: {', '.join(sorted(all_problems()))}"
         )
     algorithm = str(algorithm)
     if algorithm not in ORDERING_ALGORITHMS:
@@ -183,11 +183,11 @@ def build_tasks(
         front so a typo fails fast instead of producing failure records).
     """
     problems = [str(name).strip().upper() for name in problem_names]
-    unknown_problems = sorted(set(p for p in problems if p not in PAPER_PROBLEMS))
+    unknown_problems = sorted(set(p for p in problems if get_problem_spec(p) is None))
     if unknown_problems:
         raise ValueError(
             f"unknown problem(s) {unknown_problems}; "
-            f"available: {', '.join(sorted(PAPER_PROBLEMS))}"
+            f"available: {', '.join(sorted(all_problems()))}"
         )
     algorithms = tuple(algorithms)
     unknown_algorithms = sorted(set(a for a in algorithms if a not in ORDERING_ALGORITHMS))

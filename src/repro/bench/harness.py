@@ -119,7 +119,8 @@ def _fiedler_policy_options(fiedler_policy: str) -> dict:
 
 
 def _ordering_bench(problem: str, scale: float, algorithm: str,
-                    fiedler_policy: str = "default") -> KernelBench:
+                    fiedler_policy: str = "default",
+                    group: str = "orderings") -> KernelBench:
     def setup():
         from repro.batch import BatchTask, derive_seed, task_options
         from repro.collections.registry import load_problem
@@ -135,8 +136,8 @@ def _ordering_bench(problem: str, scale: float, algorithm: str,
         return lambda: func(pattern, **options)
 
     return KernelBench(
-        name=f"orderings/{algorithm}/{problem}@{scale:g}",
-        group="orderings", setup=setup, problem=problem,
+        name=f"{group}/{algorithm}/{problem}@{scale:g}",
+        group=group, setup=setup, problem=problem,
     )
 
 
@@ -198,16 +199,28 @@ def pinned_micro_suite(quick: bool = False,
     if quick:
         ordering_cases = [("CAN1072", 0.1), ("DWT2680", 0.05)]
         ordering_algorithms = ("rcm", "gps", "gk", "sloan")
+        powerlaw_cases = [("RANDOM/BA", 0.002), ("RANDOM/RMAT", 0.002)]
+        powerlaw_algorithms = ("rcm", "gk")
         graph_problem, graph_scale = "PWT", 0.03
     else:
         ordering_cases = [("CAN1072", 0.5), ("DWT2680", 0.2)]
         ordering_algorithms = ("rcm", "gps", "gk", "sloan", "king", "spectral")
+        powerlaw_cases = [("RANDOM/BA", 0.004), ("RANDOM/RMAT", 0.004)]
+        powerlaw_algorithms = ("rcm", "gk", "sloan")
         graph_problem, graph_scale = "PWT", 0.1
 
     benches = [
         _ordering_bench(problem, scale, algorithm, fiedler_policy)
         for problem, scale in ordering_cases
         for algorithm in ordering_algorithms
+    ]
+    # The power-law group: same ordering kernels on hub-dominated graphs,
+    # where frontier widths behave nothing like the mesh cases above.
+    benches += [
+        _ordering_bench(problem, scale, algorithm, fiedler_policy,
+                        group="powerlaw")
+        for problem, scale in powerlaw_cases
+        for algorithm in powerlaw_algorithms
     ]
     benches += [
         _graph_bench(graph_problem, graph_scale, kernel)

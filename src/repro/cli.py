@@ -151,7 +151,12 @@ from repro.batch import (
 )
 from repro.utils.atomic import atomic_write_text
 from repro.analysis.spy import ascii_spy, band_profile
-from repro.collections.registry import available_problems, load_problem
+from repro.collections.registry import (
+    UnknownProblemError,
+    available_problems,
+    load_problem,
+    resolve_problems,
+)
 from repro.core.pipeline import reorder
 from repro.eigen.fiedler import FIEDLER_METHODS, fiedler_vector
 from repro.orderings.registry import ORDERING_ALGORITHMS, PAPER_ALGORITHMS
@@ -345,7 +350,9 @@ def _cmd_suite(args) -> int:
     if args.table:
         problems = available_problems(args.table, paper_order=True)
     elif args.problems:
-        problems = args.problems
+        # Names or fnmatch globs ('RANDOM/*', 'BCSSTK?[13]'); an unknown name
+        # raises UnknownProblemError, which main() turns into exit code 2.
+        problems = resolve_problems(args.problems)
     else:
         problems = available_problems()
     algorithms = tuple(args.algorithms.split(",")) if args.algorithms else PAPER_ALGORITHMS
@@ -391,7 +398,8 @@ def _cmd_suite(args) -> int:
 
     if timeout_auto:
         # Cost-model-derived per-cell limits: estimate x safety factor with a
-        # 1 s floor; cells the model never directly observed get no limit.
+        # 1 s floor; paper cells the model never directly observed get no
+        # limit, while the analytic RANDOM/* families are always bounded.
         from repro.batch import auto_timeout
 
         auto_model = cost_model or CostModel()
@@ -399,8 +407,8 @@ def _cmd_suite(args) -> int:
         if len(auto_model) == 0:
             detail = (f"the cost model {args.cost_model} holds no usable timings"
                       if args.cost_model else "no cost model given (use --cost-model)")
-            print(f"--timeout auto: {detail}; no cell has a prior observation, "
-                  f"so no timeouts apply", file=sys.stderr)
+            print(f"--timeout auto: {detail}; only analytic-size problems "
+                  f"(RANDOM/*) get limits", file=sys.stderr)
 
     algorithm_options = None
     if args.fiedler_policy == "fast":
@@ -1080,11 +1088,52 @@ def _cmd_fiedler(args) -> int:
     return 0
 
 
+def _cmd_fetch(args) -> int:
+    from repro.collections.external import fetch_url, ingest_file, suitesparse_url
+    from repro.store.download import DownloadCache
+
+    cache = DownloadCache(args.cache)
+    try:
+        url = args.ref if "://" in args.ref else suitesparse_url(args.ref, fmt=args.fmt)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        record = fetch_url(url, cache=cache, force=args.force)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except OSError as exc:  # URLError subclasses OSError
+        print(f"cannot fetch {url}: {exc}", file=sys.stderr)
+        return 1
+    print(f"fetched {record['url']}")
+    print(f"  cached: {record['path']}")
+    print(f"  sha256: {record['sha256']}")
+    print(f"  size:   {record['size']} bytes")
+    if args.no_ingest:
+        return 0
+    try:
+        pattern, meta = ingest_file(record["path"], filename=record["filename"])
+    except (ValueError, OSError) as exc:
+        print(f"cannot ingest {record['path']}: {exc}", file=sys.stderr)
+        return 1
+    print(f"  matrix: {meta['member']} ({meta['format']})")
+    print(f"  n={pattern.n} nnz={pattern.nnz} max_degree={pattern.max_degree()}")
+    if args.output:
+        write_matrix_market(args.output, pattern.to_scipy(), field="pattern")
+        print(f"  wrote pattern to {args.output}")
+    return 0
+
+
 def _cmd_problems(_args) -> int:
     print("Registered surrogate problems (use as problem:NAME[@SCALE]):")
     for table in ("4.1", "4.2", "4.3"):
         names = ", ".join(available_problems(table))
         print(f"  Table {table}: {names}")
+    names = ", ".join(available_problems("random"))
+    print(f"  Random families: {names}")
+    print("Suite problem arguments accept globs, e.g. repro suite 'RANDOM/*'.")
+    print("External matrices: repro fetch Group/Name (SuiteSparse collection).")
     return 0
 
 
@@ -1126,9 +1175,12 @@ def build_parser() -> argparse.ArgumentParser:
         "suite", help="run the problems x algorithms batch suite (parallel engine)"
     )
     suite_parser.add_argument("problems", nargs="*",
-                              help="registered problem names (default: all)")
-    suite_parser.add_argument("--table", default=None, choices=["4.1", "4.2", "4.3"],
-                              help="run every problem of one paper table")
+                              help="registered problem names or globs, e.g. "
+                                   "'RANDOM/*' (default: all paper problems)")
+    suite_parser.add_argument("--table", default=None,
+                              choices=["4.1", "4.2", "4.3", "random"],
+                              help="run every problem of one paper table, or "
+                                   "every random-graph family")
     suite_parser.add_argument("--algorithms", default=None,
                               help="comma-separated list (default: spectral,gk,gps,rcm)")
     suite_parser.add_argument("--scale", type=float, default=None,
@@ -1401,6 +1453,30 @@ def build_parser() -> argparse.ArgumentParser:
     problems_parser = sub.add_parser("problems", help="list the registered surrogate problems")
     problems_parser.set_defaults(func=_cmd_problems)
 
+    fetch_parser = sub.add_parser(
+        "fetch",
+        help="download an external matrix (SuiteSparse collection) through the "
+             "content-addressed cache and ingest it",
+    )
+    fetch_parser.add_argument("ref",
+                              help="collection reference 'Group/Name' "
+                                   "(e.g. HB/bcsstk13) or a full URL")
+    fetch_parser.add_argument("--format", dest="fmt", default="mm",
+                              choices=["mm", "rb"],
+                              help="collection packaging: Matrix Market or "
+                                   "Rutherford-Boeing (default: mm)")
+    fetch_parser.add_argument("--cache", default=None,
+                              help="download cache directory (default: "
+                                   "REPRO_FETCH_CACHE or ~/.cache/repro/fetch)")
+    fetch_parser.add_argument("--force", action="store_true",
+                              help="re-download even when the URL is cached")
+    fetch_parser.add_argument("--no-ingest", action="store_true",
+                              help="only download and cache, skip parsing")
+    fetch_parser.add_argument("--output", default=None,
+                              help="write the ingested pattern to this Matrix "
+                                   "Market file")
+    fetch_parser.set_defaults(func=_cmd_fetch)
+
     serve_parser = sub.add_parser(
         "serve", help="run the resident ordering-as-a-service HTTP/JSON API"
     )
@@ -1487,4 +1563,10 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UnknownProblemError as exc:
+        # Structured unknown-problem errors (with near-miss suggestions)
+        # exit 2 like every other usage error, never as a traceback.
+        print(exc, file=sys.stderr)
+        return 2

@@ -11,8 +11,15 @@ matrices from the same structural families:
 * unstructured triangulations (airfoil-style), annuli, plates with holes,
   cylindrical shells, power networks (:mod:`repro.collections.generators`) —
   surrogates for BARTH4, DWT2680, BLKHOLE, the shell models and POW9;
-* a registry keyed by the paper's matrix names with configurable size scaling
-  (:mod:`repro.collections.registry`), used by every benchmark harness.
+* random-graph families — Barabási–Albert, Erdős–Rényi G(n,p)/G(n,m),
+  Watts–Strogatz, R-MAT (:mod:`repro.collections.random_graphs`) — power-law
+  and small-world stress workloads far outside the paper's mesh regime;
+* a registry keyed by the paper's matrix names (plus the ``RANDOM/*``
+  families) with configurable size scaling
+  (:mod:`repro.collections.registry`), used by every benchmark harness;
+* a fetch/ingest path for real external matrices, e.g. from the SuiteSparse
+  collection, with a content-addressed download cache
+  (:mod:`repro.collections.external`).
 
 Real Boeing-Harwell / Matrix Market files can be substituted at any time via
 :func:`repro.sparse.read_harwell_boeing` / :func:`repro.sparse.read_matrix_market`.
@@ -36,11 +43,33 @@ from repro.collections.generators import (
     power_network_pattern,
     random_geometric_pattern,
 )
+from repro.collections.random_graphs import (
+    RANDOM_PROBLEMS,
+    GeneratorSpec,
+    barabasi_albert_pattern,
+    erdos_renyi_gnm_pattern,
+    erdos_renyi_gnp_pattern,
+    rmat_pattern,
+    watts_strogatz_pattern,
+)
+from repro.collections.external import (
+    DownloadCache,
+    fetch_problem,
+    fetch_url,
+    ingest_file,
+    suitesparse_url,
+)
 from repro.collections.registry import (
     PAPER_PROBLEMS,
     ProblemSpec,
+    UnknownProblemError,
+    all_problems,
     available_problems,
+    expected_problem_size,
+    get_problem_spec,
+    has_analytic_size,
     load_problem,
+    resolve_problems,
 )
 
 __all__ = [
@@ -58,8 +87,26 @@ __all__ = [
     "plate_with_holes_pattern",
     "power_network_pattern",
     "random_geometric_pattern",
+    "RANDOM_PROBLEMS",
+    "GeneratorSpec",
+    "barabasi_albert_pattern",
+    "erdos_renyi_gnp_pattern",
+    "erdos_renyi_gnm_pattern",
+    "watts_strogatz_pattern",
+    "rmat_pattern",
+    "DownloadCache",
+    "fetch_problem",
+    "fetch_url",
+    "ingest_file",
+    "suitesparse_url",
     "PAPER_PROBLEMS",
     "ProblemSpec",
+    "UnknownProblemError",
+    "all_problems",
     "available_problems",
+    "expected_problem_size",
+    "get_problem_spec",
+    "has_analytic_size",
     "load_problem",
+    "resolve_problems",
 ]

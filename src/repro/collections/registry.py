@@ -19,6 +19,8 @@ change the default used by the benchmark harnesses.
 
 from __future__ import annotations
 
+import difflib
+import fnmatch
 import os
 from dataclasses import dataclass, field
 from typing import Callable
@@ -36,9 +38,23 @@ from repro.collections.generators import (
     shell_assembly_pattern,
 )
 from repro.collections.meshes import grid2d_pattern, grid3d_pattern, multi_dof_pattern
+from repro.collections.random_graphs import RANDOM_PROBLEMS, GeneratorSpec
 from repro.sparse.pattern import SymmetricPattern
 
-__all__ = ["ProblemSpec", "PAPER_PROBLEMS", "available_problems", "load_problem", "default_scale"]
+__all__ = [
+    "ProblemSpec",
+    "PAPER_PROBLEMS",
+    "RANDOM_PROBLEMS",
+    "UnknownProblemError",
+    "available_problems",
+    "all_problems",
+    "get_problem_spec",
+    "resolve_problems",
+    "expected_problem_size",
+    "has_analytic_size",
+    "load_problem",
+    "default_scale",
+]
 
 
 @dataclass(frozen=True)
@@ -405,38 +421,146 @@ PAPER_PROBLEMS: dict[str, ProblemSpec] = {
 }
 
 
+class UnknownProblemError(KeyError):
+    """A problem name (or glob) that matches nothing in the registry.
+
+    Subclasses :class:`KeyError` for backward compatibility, but carries the
+    failing ``name``, near-miss ``suggestions`` and the full ``available``
+    name list so callers (the CLI exits 2 on it) can print a structured
+    message instead of a bare repr.
+    """
+
+    def __init__(self, name: str, suggestions: list[str], available: list[str]):
+        self.name = name
+        self.suggestions = list(suggestions)
+        self.available = list(available)
+        hint = f" did you mean: {', '.join(self.suggestions)}?" if self.suggestions else ""
+        self.message = (
+            f"unknown problem {name!r};{hint} available: {', '.join(self.available)}"
+        )
+        super().__init__(self.message)
+
+    def __str__(self) -> str:  # KeyError would quote the message
+        return self.message
+
+
 def available_problems(table: str | None = None, paper_order: bool = False) -> list[str]:
-    """Names of the registered problems, optionally restricted to one paper table.
+    """Names of the registered problems, optionally restricted to one table.
+
+    ``table`` may be a paper table (``"4.1"``, ``"4.2"``, ``"4.3"``) or
+    ``"random"`` for the generated random-graph families; ``None`` keeps the
+    historical default of the 18 paper matrices (the random families are
+    opt-in via explicit names, globs, or ``table="random"`` so that the
+    default suite matches the paper's).
 
     ``paper_order=True`` returns the names in the row order of the paper's
     tables (the registration order) instead of alphabetically — the order the
     benchmark result files use for side-by-side comparison with the paper.
     """
-    names = [
-        name for name, spec in PAPER_PROBLEMS.items()
-        if table is None or spec.table == table
-    ]
+    if table == "random":
+        names = list(RANDOM_PROBLEMS)
+    else:
+        names = [
+            name for name, spec in PAPER_PROBLEMS.items()
+            if table is None or spec.table == table
+        ]
     return names if paper_order else sorted(names)
 
 
-def load_problem(name: str, scale: float | None = None) -> tuple[SymmetricPattern, ProblemSpec]:
-    """Build the surrogate for the named paper matrix.
+def all_problems() -> list[str]:
+    """Every registered problem name: paper matrices then random families."""
+    return list(PAPER_PROBLEMS) + list(RANDOM_PROBLEMS)
+
+
+def get_problem_spec(name: str) -> ProblemSpec | GeneratorSpec | None:
+    """The spec registered under ``name`` (case-insensitive), or ``None``."""
+    key = str(name).strip().upper()
+    return PAPER_PROBLEMS.get(key) or RANDOM_PROBLEMS.get(key)
+
+
+def _lookup(name: str) -> ProblemSpec | GeneratorSpec:
+    spec = get_problem_spec(name)
+    if spec is None:
+        key = str(name).strip().upper()
+        names = all_problems()
+        suggestions = difflib.get_close_matches(key, names, n=3, cutoff=0.6)
+        raise UnknownProblemError(name, suggestions, sorted(names))
+    return spec
+
+
+def resolve_problems(patterns: list[str]) -> list[str]:
+    """Expand a mix of problem names and ``fnmatch`` globs to registry names.
+
+    Each entry is normalized (case-insensitive) and either matched exactly or,
+    when it contains a glob metacharacter (``*``, ``?``, ``[``), expanded
+    against every registered name in registration order (paper tables first,
+    then random families).  Duplicates are dropped while preserving order.
+
+    Raises
+    ------
+    UnknownProblemError
+        For a name that is not registered (with near-miss suggestions) or a
+        glob that matches nothing.
+    """
+    names = all_problems()
+    resolved: list[str] = []
+    for pattern in patterns:
+        key = str(pattern).strip().upper()
+        if any(ch in key for ch in "*?["):
+            matches = [name for name in names if fnmatch.fnmatchcase(name, key)]
+            if not matches:
+                raise UnknownProblemError(pattern, [], sorted(names))
+            resolved.extend(matches)
+        else:
+            resolved.append(_lookup(key).name)
+    seen: set[str] = set()
+    return [name for name in resolved if not (name in seen or seen.add(name))]
+
+
+def expected_problem_size(problem: str, scale: float | None = None) -> float:
+    """Estimated ``n * nnz`` of a problem cell, for cost planning.
+
+    Paper problems use the paper's reported sizes rescaled by ``scale**2``
+    (vertex count and nonzeros both scale roughly linearly with ``scale``);
+    random-graph families use their analytic ``expected_n``/``expected_nnz``.
+    Unknown problems return the neutral weight 1.0 — the historical fallback
+    of :class:`repro.batch.sched.CostModel`.
+    """
+    spec = get_problem_spec(problem)
+    effective = default_scale() if scale is None else float(scale)
+    if isinstance(spec, ProblemSpec):
+        return float(spec.paper_n) * float(spec.paper_nnz) * effective**2
+    if isinstance(spec, GeneratorSpec):
+        return float(spec.expected_n(effective)) * float(spec.expected_nnz(effective))
+    return 1.0
+
+
+def has_analytic_size(problem: str) -> bool:
+    """True when the problem carries analytic size functions (random family)."""
+    return isinstance(get_problem_spec(problem), GeneratorSpec)
+
+
+def load_problem(
+    name: str, scale: float | None = None
+) -> tuple[SymmetricPattern, ProblemSpec | GeneratorSpec]:
+    """Build the surrogate for the named problem.
 
     Parameters
     ----------
     name:
-        Paper matrix name, case-insensitive (e.g. ``"barth4"``).
+        Registered problem name, case-insensitive: a paper matrix
+        (e.g. ``"barth4"``) or a random-graph family (e.g. ``"random/ba"``).
     scale:
         Surrogate scale; ``None`` uses :func:`default_scale`.
 
     Returns
     -------
     (pattern, spec)
+
+    Raises
+    ------
+    UnknownProblemError
+        If the name is not registered (lists near-miss suggestions).
     """
-    key = name.strip().upper()
-    if key not in PAPER_PROBLEMS:
-        raise KeyError(
-            f"unknown problem {name!r}; available: {', '.join(sorted(PAPER_PROBLEMS))}"
-        )
-    spec = PAPER_PROBLEMS[key]
+    spec = _lookup(name)
     return spec.build(scale), spec

@@ -34,7 +34,7 @@ import io
 from dataclasses import dataclass
 
 from repro.batch.tasks import build_task, derive_seed
-from repro.collections.registry import PAPER_PROBLEMS
+from repro.collections.registry import all_problems, get_problem_spec
 from repro.orderings.registry import ORDERING_ALGORITHMS
 from repro.serve.protocol import ProtocolError
 from repro.store.core import canonical_params
@@ -290,11 +290,11 @@ def parse_order_request(
         if not isinstance(name, str):
             raise _bad("'problem' must be a registered problem name")
         name = name.strip().upper()
-        if name not in PAPER_PROBLEMS:
+        if get_problem_spec(name) is None:
             raise ProtocolError(
                 400,
                 f"unknown problem {name!r}; available: "
-                f"{', '.join(sorted(PAPER_PROBLEMS))}",
+                f"{', '.join(sorted(all_problems()))}",
                 "UnknownProblem",
             )
         pattern = None

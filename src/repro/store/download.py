@@ -1,0 +1,120 @@
+"""Content-addressed download cache for external collection files.
+
+The artifact store (:mod:`repro.store.core`) caches *derived* artifacts keyed
+by what produced them; this module applies the same discipline to *fetched
+bytes*: every downloaded file is stored once under its own sha256 and looked
+up by URL through a small JSON meta record.  Layout under the cache root::
+
+    objects/<sha256[:2]>/<sha256>      raw file bytes
+    urls/<sha256(url)>.json            {"url", "sha256", "size", "filename"}
+
+Both writes go through :mod:`repro.utils.atomic`, so a crashed or concurrent
+fetch can never leave a half-written object behind.  On lookup the object's
+digest is re-verified; a mismatch (bit rot, truncation, manual tampering)
+evicts the entry and reports a miss, mirroring the corrupt-entry policy of
+:class:`repro.store.core.ArtifactStore` — corruption is a re-download, never
+a crash and never silently wrong bytes.
+
+The cache root defaults to ``~/.cache/repro/fetch`` and can be moved with the
+``REPRO_FETCH_CACHE`` environment variable (mirroring ``REPRO_STORE``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text
+
+__all__ = ["DownloadCache", "default_fetch_cache_root"]
+
+
+def default_fetch_cache_root() -> Path:
+    """Cache root: ``REPRO_FETCH_CACHE`` env var, else ``~/.cache/repro/fetch``."""
+    value = os.environ.get("REPRO_FETCH_CACHE", "")
+    if value:
+        return Path(value)
+    return Path.home() / ".cache" / "repro" / "fetch"
+
+
+class DownloadCache:
+    """Content-addressed store of downloaded files, looked up by URL."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else default_fetch_cache_root()
+
+    # -- paths -------------------------------------------------------------- #
+    def object_path(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / digest
+
+    def _meta_path(self, url: str) -> Path:
+        key = hashlib.sha256(url.encode("utf-8")).hexdigest()
+        return self.root / "urls" / f"{key}.json"
+
+    # -- operations --------------------------------------------------------- #
+    def lookup(self, url: str) -> dict | None:
+        """Meta record for a cached URL, or ``None`` on miss.
+
+        The returned dict carries ``url``, ``sha256``, ``size``, ``filename``
+        and ``path`` (the object file).  The object's bytes are re-hashed on
+        every lookup; any mismatch evicts the entry and is a miss.
+        """
+        meta_path = self._meta_path(url)
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        digest = meta.get("sha256", "")
+        obj = self.object_path(digest)
+        try:
+            data = obj.read_bytes()
+        except OSError:
+            return None
+        if hashlib.sha256(data).hexdigest() != digest:
+            obj.unlink(missing_ok=True)
+            meta_path.unlink(missing_ok=True)
+            return None
+        meta["path"] = str(obj)
+        return meta
+
+    def store(self, url: str, data: bytes, filename: str = "") -> dict:
+        """Insert downloaded bytes for ``url``; returns the meta record."""
+        digest = hashlib.sha256(data).hexdigest()
+        obj = self.object_path(digest)
+        obj.parent.mkdir(parents=True, exist_ok=True)
+        if not obj.exists():
+            atomic_write_bytes(obj, data)
+        meta = {
+            "url": url,
+            "sha256": digest,
+            "size": len(data),
+            "filename": filename or url.rstrip("/").rpartition("/")[2],
+        }
+        meta_path = self._meta_path(url)
+        meta_path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(meta_path, json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        return {**meta, "path": str(obj)}
+
+    def evict(self, url: str) -> bool:
+        """Drop the URL's meta record (the object stays for other URLs)."""
+        meta_path = self._meta_path(url)
+        existed = meta_path.exists()
+        meta_path.unlink(missing_ok=True)
+        return existed
+
+    def entries(self) -> list[dict]:
+        """All valid cached URL records, sorted by URL."""
+        urls_dir = self.root / "urls"
+        if not urls_dir.is_dir():
+            return []
+        records = []
+        for meta_path in sorted(urls_dir.glob("*.json")):
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if "url" in meta:
+                records.append(meta)
+        return sorted(records, key=lambda meta: meta["url"])

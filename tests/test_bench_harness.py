@@ -52,9 +52,13 @@ def test_pinned_micro_suite_names_are_stable_and_unique():
     for quick in (False, True):
         names = [bench.name for bench in pinned_micro_suite(quick)]
         assert len(names) == len(set(names))
-        assert all(name.count("/") == 2 for name in names)
+        # group/algorithm/problem@scale — problem names may themselves
+        # contain "/" (RANDOM/BA), so two slashes is the *minimum*
+        assert all(name.count("/") >= 2 for name in names)
+        assert all("@" in name for name in names)
     # quick mode is a subset-shaped suite, not a rename of the full one
-    assert {b.group for b in pinned_micro_suite(True)} == {"orderings", "graph", "eigen"}
+    assert {b.group for b in pinned_micro_suite(True)} == {
+        "orderings", "graph", "eigen", "powerlaw"}
 
 
 def _tiny_artifact(tmp_path, name="bench.json", **overrides):

@@ -595,7 +595,7 @@ class TestTimeoutAutoAndFiedlerPolicy:
         code = main(["suite", "POW9", "--algorithms", "rcm", "--scale", "0.02",
                      "--timeout", "auto", "--no-progress"])
         assert code == 0
-        assert "no cell has a prior observation" in capsys.readouterr().err
+        assert "only analytic-size problems" in capsys.readouterr().err
 
     def test_timeout_auto_kills_observed_overrunner(self, tmp_path, monkeypatch,
                                                     capsys):

@@ -1,13 +1,20 @@
-"""Unit tests for the paper-problem registry (repro.collections.registry)."""
+"""Unit tests for the problem registry (repro.collections.registry)."""
 
 import numpy as np
 import pytest
 
 from repro.collections.registry import (
     PAPER_PROBLEMS,
+    RANDOM_PROBLEMS,
+    UnknownProblemError,
+    all_problems,
     available_problems,
     default_scale,
+    expected_problem_size,
+    get_problem_spec,
+    has_analytic_size,
     load_problem,
+    resolve_problems,
 )
 from repro.graph.components import is_connected
 from repro.orderings.registry import PAPER_ALGORITHMS
@@ -73,6 +80,119 @@ class TestLoadProblem:
         shell, shell_spec = load_problem("BCSSTK29", scale=0.05)
         power, power_spec = load_problem("POW9", scale=0.05)
         assert shell.nnz / shell.n > 2.5 * (power.nnz / power.n)
+
+
+class TestUnknownProblemError:
+    """Regression tests for the structured unknown-problem error (the old
+    code raised a bare KeyError with no suggestions)."""
+
+    def test_is_a_keyerror_with_a_clean_message(self):
+        with pytest.raises(UnknownProblemError) as excinfo:
+            load_problem("NOSUCH")
+        assert isinstance(excinfo.value, KeyError)
+        # __str__ must be the message itself, not KeyError's quoted repr
+        assert str(excinfo.value).startswith("unknown problem 'NOSUCH'")
+
+    def test_near_miss_suggestions(self):
+        with pytest.raises(UnknownProblemError) as excinfo:
+            load_problem("BARTH5")
+        assert "BARTH4" in excinfo.value.suggestions
+        assert "did you mean" in str(excinfo.value)
+
+    def test_carries_structured_fields(self):
+        with pytest.raises(UnknownProblemError) as excinfo:
+            load_problem("pow8")
+        error = excinfo.value
+        assert error.name == "pow8"
+        assert "POW9" in error.suggestions
+        assert error.available == sorted(all_problems())
+
+    def test_cli_exits_2_with_the_structured_message(self, capsys):
+        from repro.cli import main
+
+        code = main(["suite", "BARTH5", "--scale", "0.02"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "did you mean" in captured.err
+        assert "BARTH4" in captured.err
+
+    def test_no_suggestion_for_garbage(self):
+        with pytest.raises(UnknownProblemError) as excinfo:
+            load_problem("ZZZZZZZZZZ")
+        assert excinfo.value.suggestions == []
+        assert "did you mean" not in str(excinfo.value)
+
+
+class TestRandomFamiliesInRegistry:
+    def test_random_table_lists_the_families(self):
+        names = available_problems("random")
+        assert names == sorted(RANDOM_PROBLEMS)
+        assert len(names) == 5
+
+    def test_default_listing_stays_paper_only(self):
+        # The random families are opt-in: the no-argument default (and hence
+        # the default `repro suite` problem set) is still the 18 paper names.
+        assert sorted(available_problems()) == sorted(PAPER_PROBLEMS)
+
+    def test_all_problems_is_the_union(self):
+        assert set(all_problems()) == set(PAPER_PROBLEMS) | set(RANDOM_PROBLEMS)
+
+    def test_load_problem_builds_random_families(self):
+        pattern, spec = load_problem("random/ba", scale=0.001)
+        assert spec.name == "RANDOM/BA"
+        assert is_connected(pattern)
+
+    def test_get_problem_spec(self):
+        assert get_problem_spec("RANDOM/WS").family == "watts-strogatz"
+        assert get_problem_spec("pow9").name == "POW9"
+        assert get_problem_spec("NOPE") is None
+
+
+class TestResolveProblems:
+    def test_exact_names_pass_through_normalized(self):
+        assert resolve_problems(["pow9", "Barth4"]) == ["POW9", "BARTH4"]
+
+    def test_glob_expands_in_registration_order(self):
+        assert resolve_problems(["RANDOM/*"]) == [
+            "RANDOM/BA", "RANDOM/GNP", "RANDOM/GNM", "RANDOM/WS", "RANDOM/RMAT",
+        ]
+
+    def test_glob_is_case_insensitive(self):
+        assert resolve_problems(["random/g*"]) == ["RANDOM/GNP", "RANDOM/GNM"]
+
+    def test_duplicates_dropped_preserving_order(self):
+        assert resolve_problems(["POW9", "random/*", "RANDOM/BA"]) == [
+            "POW9", "RANDOM/BA", "RANDOM/GNP", "RANDOM/GNM", "RANDOM/WS",
+            "RANDOM/RMAT",
+        ]
+
+    def test_unmatched_glob_raises(self):
+        with pytest.raises(UnknownProblemError):
+            resolve_problems(["NOPE/*"])
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(UnknownProblemError, match="did you mean"):
+            resolve_problems(["RANDOM/B"])
+
+
+class TestExpectedProblemSize:
+    def test_paper_problem_uses_paper_sizes(self):
+        spec = PAPER_PROBLEMS["POW9"]
+        expected = float(spec.paper_n * spec.paper_nnz) * 0.02**2
+        assert expected_problem_size("POW9", 0.02) == pytest.approx(expected)
+
+    def test_random_family_uses_analytic_sizes(self):
+        spec = RANDOM_PROBLEMS["RANDOM/BA"]
+        expected = float(spec.expected_n(0.01)) * float(spec.expected_nnz(0.01))
+        assert expected_problem_size("RANDOM/BA", 0.01) == pytest.approx(expected)
+
+    def test_unknown_problem_is_neutral(self):
+        assert expected_problem_size("NOSUCH", 0.02) == 1.0
+
+    def test_has_analytic_size(self):
+        assert has_analytic_size("RANDOM/RMAT")
+        assert not has_analytic_size("POW9")
+        assert not has_analytic_size("NOSUCH")
 
 
 class TestDefaultScale:

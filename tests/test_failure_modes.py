@@ -157,8 +157,10 @@ class TestPipelineFailureModes:
         with pytest.raises(OSError):
             main(["reorder", "/nonexistent/matrix.mtx"])
 
-    def test_cli_unknown_problem(self):
+    def test_cli_unknown_problem(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(KeyError):
-            main(["compare", "problem:NOSUCHMATRIX"])
+        # structured error path: exit code 2 with the registry listing on
+        # stderr, not a raw KeyError traceback
+        assert main(["compare", "problem:NOSUCHMATRIX"]) == 2
+        assert "unknown problem" in capsys.readouterr().err

@@ -17,7 +17,10 @@ Two independent oracles are checked on every ``(pattern, algorithm)`` pair:
 The corpus mixes the shapes that break frontier/slab code: connected
 graphs, multi-component graphs, pendant (degree-1) chains and isolated
 vertices — 25 patterns, deterministically generated from
-:func:`repro.utils.rng.default_rng` seeds.
+:func:`repro.utils.rng.default_rng` seeds — plus small instances of the
+random-graph families (Barabási–Albert, Watts–Strogatz, R-MAT), whose
+power-law degree tails and hub-dominated frontiers are exactly where slab
+kernels can diverge from the naive loops.
 """
 
 from __future__ import annotations
@@ -68,14 +71,38 @@ def _random_pattern(seed: int) -> SymmetricPattern:
     return SymmetricPattern.from_edges(n, edges)
 
 
-PATTERNS = [_random_pattern(seed) for seed in range(N_PATTERNS)]
+def _family_patterns() -> list[SymmetricPattern]:
+    """Small instances of the power-law / small-world generator families."""
+    from repro.collections.random_graphs import (
+        barabasi_albert_pattern,
+        rmat_pattern,
+        watts_strogatz_pattern,
+    )
+
+    return [
+        barabasi_albert_pattern(24, m=2, seed=210),
+        barabasi_albert_pattern(36, m=3, seed=211),
+        watts_strogatz_pattern(30, k=4, beta=0.2, seed=212),
+        watts_strogatz_pattern(24, k=6, beta=0.3, seed=213),
+        rmat_pattern(5, edge_factor=3, seed=214),
+        rmat_pattern(5, edge_factor=2, seed=215),
+    ]
+
+
+FAMILY_PATTERNS = _family_patterns()
+N_FAMILY_PATTERNS = 6
+
+PATTERNS = [_random_pattern(seed) for seed in range(N_PATTERNS)] + FAMILY_PATTERNS
 
 
 def test_corpus_covers_the_advertised_shapes():
     """The corpus really contains connected graphs, disconnected graphs,
-    pendant vertices and isolated vertices (otherwise the sweep would
-    silently stop exercising those paths)."""
-    assert len(PATTERNS) == N_PATTERNS
+    pendant vertices, isolated vertices and the generator families
+    (otherwise the sweep would silently stop exercising those paths)."""
+    assert len(FAMILY_PATTERNS) == N_FAMILY_PATTERNS
+    assert len(PATTERNS) == N_PATTERNS + N_FAMILY_PATTERNS
+    # the family patterns bring hub-dominated degree distributions
+    assert any(p.degree().max() >= 3 * p.degree().mean() for p in FAMILY_PATTERNS)
     component_counts = [connected_components(p)[0] for p in PATTERNS]
     assert any(count == 1 for count in component_counts)
     assert any(count > 1 for count in component_counts)
@@ -130,7 +157,8 @@ def _call_with_seed(func, pattern, seed: int):
 @pytest.mark.parametrize("algorithm", sorted(ORDERING_ALGORITHMS))
 def test_ordering_differential_sweep(algorithm):
     """Vectorized == reference kernels AND metrics == brute force, for one
-    registered algorithm across the whole 25-pattern corpus."""
+    registered algorithm across the whole corpus (25 random shapes plus the
+    generator-family patterns)."""
     func = ORDERING_ALGORITHMS[algorithm]
     for seed, pattern in enumerate(PATTERNS):
         fast = _call_with_seed(func, pattern, seed)
