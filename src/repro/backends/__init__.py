@@ -1,0 +1,338 @@
+"""Per-kernel backend registry: vectorized numpy, loop ``python``, JIT ``numba``.
+
+The envelope pipeline is dominated by a handful of inner loops — BFS frontier
+expansion, the Cuthill-McKee queue, the GPS/GK level numbering, Sloan's
+priority heap, and the CSR matvec under Lanczos/RQI — and each of those hot
+sites asks this registry which implementation to run:
+
+* ``numpy`` — the vectorized production paths already in place (always
+  available, the default below the auto threshold).  The registry signals it
+  by returning *no* kernel, so the call site falls through to its own code.
+* ``python`` — the loop-form kernels of :mod:`repro.backends.kernels`,
+  interpreted.  Slow; exists so the *exact* code numba compiles can be
+  validated (property tests, differential sweep) without numba installed.
+* ``numba`` — the same kernels JIT-compiled
+  (:mod:`repro.backends.numba_backend`).  Optional: when numba is absent an
+  explicit request falls back to numpy and the fallback is recorded, so
+  artifacts and ``/statsz`` can report it.
+
+Selection is per kernel call.  The requested backend comes from
+:func:`set_backend` (the ``--backend`` CLI flag), else the ``REPRO_BACKEND``
+environment variable (exported by the CLI so pool workers inherit it), else
+``"auto"``.  In auto mode the compiled tier engages only above a per-kernel
+work threshold (``n + nnz`` of the pattern at the call site, the same
+analytic size measure the scheduler's cost model plans with) so tiny graphs
+skip the dispatch and conversion overhead; ``REPRO_BACKEND_THRESHOLD``
+overrides the thresholds globally, and
+:func:`repro.backends.policy.fit_threshold` derives an observed threshold
+from a numpy/numba bench artifact pair.
+
+Identity guarantee: every backend returns bit-identical results — orderings
+are integer algorithms with replicated tie-breaking, and the compiled CSR
+matvec preserves scipy's summation order (no ``fastmath``).  The per-kernel
+property tests and the differential sweep run against every available
+backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from repro.backends import kernels as _kernels
+from repro.backends import numba_backend as _numba
+
+__all__ = [
+    "KERNELS",
+    "BACKENDS",
+    "BackendUnavailableError",
+    "numba_available",
+    "numba_versions",
+    "available_backends",
+    "normalize_backend",
+    "set_backend",
+    "requested_backend",
+    "require_backend",
+    "auto_threshold",
+    "resolve_backend",
+    "kernel_impl",
+    "spmv_operator",
+    "backend_status",
+    "backend_summary",
+    "backend_events",
+    "reset_events",
+]
+
+#: Kernels the registry dispatches (hot sites in graph/orderings/eigen).
+KERNELS = ("bfs_levels", "bfs_order", "number_by_levels", "sloan", "spmv")
+
+#: Registered tiers, in fallback order.
+BACKENDS = ("numpy", "python", "numba")
+
+#: Names accepted by ``--backend`` / ``REPRO_BACKEND``.
+REQUESTABLE = ("auto",) + BACKENDS
+
+#: Auto-mode work threshold (``n + nnz`` at the call site) above which the
+#: compiled tier engages.  Below it the numpy paths win: per-call dispatch
+#: and array handoff overheads dominate tiny graphs.
+DEFAULT_AUTO_THRESHOLD = 2048
+
+_PY_KERNELS = {
+    "bfs_levels": _kernels.bfs_levels_kernel,
+    "bfs_order": _kernels.bfs_order_kernel,
+    "number_by_levels": _kernels.number_by_levels_kernel,
+    "sloan": _kernels.sloan_kernel,
+    "spmv": _kernels.csr_matvec_kernel,
+}
+
+_lock = threading.Lock()
+_override: str | None = None
+_events: dict = {}
+_fallbacks: int = 0
+_invalid_env: str | None = None
+
+
+class BackendUnavailableError(RuntimeError):
+    """An explicitly requested backend cannot run in this environment.
+
+    Carries the failing ``backend``, a ``reason`` and the ``available``
+    backend list so the CLI can exit 2 with a structured message.
+    """
+
+    def __init__(self, backend: str, reason: str):
+        self.backend = backend
+        self.reason = reason
+        self.available = available_backends()
+        self.message = (
+            f"backend {backend!r} is unavailable: {reason}; "
+            f"available backends: {', '.join(self.available)} "
+            "(use --backend auto for automatic selection with fallback)"
+        )
+        super().__init__(self.message)
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def numba_available() -> bool:
+    """True when the numba tier can compile (numba imports cleanly)."""
+    return _numba.available()
+
+
+def numba_versions() -> dict:
+    """``{"numba": ..., "llvmlite": ...}`` when installed, else ``{}``."""
+    return _numba.versions()
+
+
+def available_backends() -> list[str]:
+    """Backends that can actually run in this environment."""
+    names = ["numpy", "python"]
+    if numba_available():
+        names.append("numba")
+    return names
+
+
+def normalize_backend(name: str) -> str:
+    """Validate and canonicalize a requested backend name.
+
+    Accepts any of ``auto``, ``numpy``, ``python``, ``numba``
+    (case-insensitive).  Raises ``ValueError`` otherwise.
+    """
+    key = str(name).strip().lower()
+    if key not in REQUESTABLE:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of: {', '.join(REQUESTABLE)}"
+        )
+    return key
+
+
+def set_backend(name: str | None) -> None:
+    """Set (or with ``None`` clear) the process-level backend override.
+
+    The override outranks ``REPRO_BACKEND``; the CLI also exports the
+    environment variable so pool workers inherit the choice.
+    """
+    global _override
+    _override = None if name is None else normalize_backend(name)
+
+
+def requested_backend() -> str:
+    """The effective request: override > ``REPRO_BACKEND`` env > ``auto``.
+
+    An unrecognized environment value is treated as ``auto`` (and surfaced
+    through :func:`backend_status`) rather than crashing worker processes.
+    """
+    global _invalid_env
+    if _override is not None:
+        return _override
+    env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if not env:
+        return "auto"
+    if env in REQUESTABLE:
+        return env
+    _invalid_env = env
+    return "auto"
+
+
+def require_backend(name: str) -> str:
+    """Validate that an explicit request can run; raise otherwise.
+
+    ``auto`` always passes (it falls back by design).  ``numba`` raises
+    :class:`BackendUnavailableError` when numba is not importable — the CLI
+    turns that into a structured exit 2.
+    """
+    key = normalize_backend(name)
+    if key == "numba" and not numba_available():
+        raise BackendUnavailableError(
+            "numba", "the 'numba' package is not installed in this environment"
+        )
+    return key
+
+
+def auto_threshold() -> int:
+    """Auto-mode work threshold (``REPRO_BACKEND_THRESHOLD`` env override)."""
+    value = os.environ.get("REPRO_BACKEND_THRESHOLD", "")
+    if not value:
+        return DEFAULT_AUTO_THRESHOLD
+    try:
+        return max(0, int(value))
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_BACKEND_THRESHOLD must be an integer, got {value!r}"
+        ) from exc
+
+
+def _record(kernel: str, choice: str, fallback: bool = False) -> None:
+    global _fallbacks
+    with _lock:
+        key = (kernel, choice)
+        _events[key] = _events.get(key, 0) + 1
+        if fallback:
+            _fallbacks += 1
+
+
+def resolve_backend(kernel: str, work: int) -> str:
+    """The backend tier that will serve one call of *kernel*.
+
+    *work* is the call-site size measure ``n + nnz``; it only matters in
+    auto mode, where the compiled tier engages above :func:`auto_threshold`.
+    A request for ``numba`` without numba resolves to ``numpy`` (the
+    fallback is counted; the CLI rejects the explicit flag up front).
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of: {', '.join(KERNELS)}")
+    req = requested_backend()
+    if req == "numpy":
+        choice = "numpy"
+    elif req == "python":
+        choice = "python"
+    elif req == "numba":
+        if numba_available():
+            choice = "numba"
+        else:
+            _record(kernel, "numpy", fallback=True)
+            return "numpy"
+    else:  # auto
+        choice = "numba" if numba_available() and work >= auto_threshold() else "numpy"
+    _record(kernel, choice)
+    return choice
+
+
+def kernel_impl(kernel: str, work: int):
+    """The loop/compiled implementation serving one call, or ``None``.
+
+    ``None`` means "use the vectorized numpy path at the call site" — the
+    hot sites do ``impl = kernel_impl(...); if impl is None: <numpy code>``.
+    """
+    choice = resolve_backend(kernel, work)
+    if choice == "numpy":
+        return None
+    if choice == "python":
+        return _PY_KERNELS[kernel]
+    return _numba.compiled_kernels()[kernel]
+
+
+def spmv_operator(matrix):
+    """A backend matvec closure for a CSR float64 matrix, or ``None``.
+
+    Returns ``None`` when the numpy tier is selected or the matrix is not a
+    plain float64 CSR — callers keep their ``matrix @ v`` path.  The closure
+    is bit-identical to scipy's matvec (same in-row summation order).
+    """
+    import scipy.sparse as sp
+
+    if not (sp.issparse(matrix) and matrix.format == "csr" and matrix.dtype == np.float64):
+        return None
+    impl = kernel_impl("spmv", int(matrix.shape[0]) + int(matrix.nnz))
+    if impl is None:
+        return None
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    nrows = int(matrix.shape[0])
+
+    def matvec(v):
+        vec = np.ascontiguousarray(v, dtype=np.float64)
+        if vec.ndim != 1 or vec.shape[0] != nrows:
+            return matrix @ v
+        out = np.empty(nrows, dtype=np.float64)
+        impl(indptr, indices, data, vec, out)
+        return out
+
+    return matvec
+
+
+def backend_events() -> dict:
+    """Per-``(kernel, backend)`` call counts since process start (or reset)."""
+    with _lock:
+        return {f"{kernel}:{choice}": count for (kernel, choice), count in sorted(_events.items())}
+
+
+def reset_events() -> None:
+    """Zero the event counters (test/bench hook)."""
+    global _fallbacks, _invalid_env
+    with _lock:
+        _events.clear()
+        _fallbacks = 0
+        _invalid_env = None
+
+
+def backend_status() -> dict:
+    """Snapshot for artifacts and ``/statsz``.
+
+    Keys: the effective ``requested`` backend, numba availability and
+    versions, the auto threshold, per-kernel dispatch counts, how many calls
+    fell back from an unavailable explicit request, and any unrecognized
+    ``REPRO_BACKEND`` value that was ignored.
+    """
+    status = {
+        "requested": requested_backend(),
+        "available": available_backends(),
+        "numba_available": numba_available(),
+        "auto_threshold": auto_threshold(),
+        "events": backend_events(),
+        "fallbacks": _fallbacks,
+    }
+    status.update(numba_versions())
+    if _invalid_env:
+        status["ignored_invalid_env"] = _invalid_env
+    return status
+
+
+def backend_summary() -> dict:
+    """Deterministic backend block for suite artifacts (full/timing form).
+
+    Unlike :func:`backend_status`, this carries no call counters — the same
+    run configuration always produces the same summary, so it can live in
+    the timing section of a suite artifact without perturbing replays.
+    ``fallback`` is true when ``numba`` was explicitly requested but the
+    package is absent (every dispatch served numpy instead).
+    """
+    requested = requested_backend()
+    summary = {
+        "requested": requested,
+        "numba_available": numba_available(),
+        "fallback": requested == "numba" and not numba_available(),
+    }
+    summary.update(numba_versions())
+    return summary

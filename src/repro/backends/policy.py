@@ -1,0 +1,141 @@
+"""Calibrating the auto-mode backend threshold from bench artifacts.
+
+Auto mode engages the compiled tier only above a work threshold
+(``n + nnz`` at the call site, see :func:`repro.backends.auto_threshold`):
+below it the per-call dispatch, array handoff and (first-call) JIT overheads
+outweigh the loop speedup.  The default is analytic; this module derives an
+*observed* threshold from a matched pair of bench artifacts — one recorded
+with ``repro bench --backend numpy``, one with ``--backend numba`` — by
+finding the work size where the compiled tier starts winning.
+
+The suite cells of a bench artifact carry ``n``/``nnz`` per cell, which is
+exactly the work measure the dispatcher sees, so the calibration needs no
+extra instrumentation::
+
+    from repro.backends.policy import fit_threshold
+    calibration = fit_threshold(load_bench("BENCH_numpy.json"),
+                                load_bench("BENCH_numba.json"))
+    os.environ["REPRO_BACKEND_THRESHOLD"] = str(calibration.threshold)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["CalibrationPoint", "Calibration", "fit_threshold"]
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One matched suite cell: work size and baseline/compiled best times."""
+
+    name: str
+    work: int
+    base_s: float
+    compiled_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline over compiled (>1 means the compiled tier won)."""
+        return self.base_s / self.compiled_s if self.compiled_s > 0 else math.inf
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """A fitted auto-mode threshold and the evidence behind it.
+
+    ``threshold`` minimizes the total *time lost to misclassification* over
+    the observed points: for each point served by the wrong tier (compiled
+    below its win size, or numpy above it) the loss is the difference of the
+    two measured times.  ``fallback`` is true when the artifact pair held no
+    usable matched points and ``threshold`` is just the supplied default.
+    """
+
+    threshold: int
+    loss_s: float
+    points: tuple = field(default_factory=tuple)
+    fallback: bool = False
+
+    def describe(self) -> str:
+        if self.fallback:
+            return (f"backend threshold {self.threshold} (default; no matched "
+                    f"suite cells to calibrate from)")
+        wins = sum(1 for p in self.points if p.speedup > 1.0)
+        return (f"backend threshold {self.threshold} fitted from "
+                f"{len(self.points)} matched cell(s) ({wins} compiled win(s), "
+                f"misclassification loss {self.loss_s:.4f} s)")
+
+
+def _matched_points(baseline: dict, compiled: dict) -> list[CalibrationPoint]:
+    def cells(artifact: dict) -> dict:
+        suite = artifact.get("suite") or {}
+        out = {}
+        for cell in suite.get("cells", []):
+            if cell.get("status") != "ok":
+                continue
+            n, nnz = cell.get("n"), cell.get("nnz")
+            if not n or nnz is None:
+                continue  # pre-calibration artifacts lack n/nnz; skip them
+            best = cell.get("best_s") or cell.get("time_s")
+            if not best:
+                continue
+            out[f"{cell['problem']}/{cell['algorithm']}"] = (
+                int(n) + int(nnz), float(best)
+            )
+        return out
+
+    base, comp = cells(baseline), cells(compiled)
+    points = [
+        CalibrationPoint(name=name, work=base[name][0],
+                         base_s=base[name][1], compiled_s=comp[name][1])
+        for name in sorted(base)
+        if name in comp
+    ]
+    return sorted(points, key=lambda p: (p.work, p.name))
+
+
+def fit_threshold(baseline: dict, compiled: dict, *,
+                  default: int | None = None) -> Calibration:
+    """Fit the auto-mode work threshold from a numpy/numba artifact pair.
+
+    Parameters
+    ----------
+    baseline, compiled:
+        Bench artifacts (:func:`repro.bench.load_bench`) recorded with the
+        numpy and the compiled tier respectively.  Matching is by suite cell
+        (problem/algorithm); cells missing from either side, failed, or
+        lacking ``n``/``nnz`` are ignored.
+    default:
+        Threshold returned when no matched points exist
+        (:data:`repro.backends.DEFAULT_AUTO_THRESHOLD` when ``None``).
+
+    Returns
+    -------
+    Calibration
+        The candidate threshold (0, each observed work size, or above the
+        largest) whose dispatch — compiled at ``work >= threshold``, numpy
+        below — loses the least measured time versus always picking the
+        faster tier per point.  Ties break toward the smallest threshold.
+    """
+    from repro.backends import DEFAULT_AUTO_THRESHOLD
+
+    if default is None:
+        default = DEFAULT_AUTO_THRESHOLD
+    points = _matched_points(baseline, compiled)
+    if not points:
+        return Calibration(threshold=int(default), loss_s=0.0, fallback=True)
+
+    candidates = sorted({0, *(p.work for p in points),
+                         max(p.work for p in points) + 1})
+    best_threshold, best_loss = None, None
+    for threshold in candidates:
+        loss = 0.0
+        for p in points:
+            served_compiled = p.work >= threshold
+            chosen = p.compiled_s if served_compiled else p.base_s
+            loss += chosen - min(p.base_s, p.compiled_s)
+        if best_loss is None or loss < best_loss - 1e-12:
+            best_threshold, best_loss = threshold, loss
+    return Calibration(threshold=int(best_threshold), loss_s=float(best_loss),
+                       points=tuple(points))

@@ -645,6 +645,8 @@ def run_suite(
     if not keep_orderings:
         for record in records:
             record.ordering = None
+    from repro import backends
+
     return SuiteResult(
         problems=problems,
         algorithms=list(algorithms),
@@ -654,4 +656,5 @@ def run_suite(
         records=records,
         wall_time_s=float(timer.elapsed),
         shard=shard,
+        backend=backends.backend_summary(),
     )

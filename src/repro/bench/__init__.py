@@ -16,11 +16,13 @@ from repro.bench.harness import (
     default_artifact_path,
     diff_bench,
     format_diff,
+    format_trend,
     load_bench,
     machine_info,
     pinned_micro_suite,
     run_bench,
     save_bench,
+    trend_bench,
 )
 
 __all__ = [
@@ -30,6 +32,7 @@ __all__ = [
     "default_artifact_path",
     "diff_bench",
     "format_diff",
+    "format_trend",
     "load_bench",
     "machine_info",
     "measure",
@@ -37,4 +40,5 @@ __all__ = [
     "run_bench",
     "save_bench",
     "time_call",
+    "trend_bench",
 ]

@@ -47,6 +47,8 @@ __all__ = [
     "load_bench",
     "diff_bench",
     "format_diff",
+    "trend_bench",
+    "format_trend",
     "bench_revision",
     "default_artifact_path",
     "machine_info",
@@ -60,6 +62,12 @@ _KIND = "repro-bench"
 #: Baseline timings below this are treated as pure noise by the regression
 #: check (a 2x "regression" of a 50 microsecond kernel is jitter, not a bug).
 _NOISE_FLOOR_S = 1e-3
+
+
+def _requested_backend() -> str:
+    from repro import backends
+
+    return backends.requested_backend()
 
 
 @dataclass(frozen=True)
@@ -78,17 +86,28 @@ class KernelBench:
 
 
 def machine_info() -> dict:
-    """Platform / library versions recorded into every artifact."""
+    """Platform / library versions recorded into every artifact.
+
+    Includes the active kernel backend tier (``backend``) and — when the
+    compiled tier is importable — the numba/llvmlite versions, so a bench
+    artifact is self-describing about *which* implementation it timed.
+    """
     import scipy
 
-    return {
+    from repro import backends
+
+    info = {
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "scipy": scipy.__version__,
         "cpu_count": os.cpu_count(),
+        "backend": backends.requested_backend(),
+        "numba_available": backends.numba_available(),
     }
+    info.update(backends.numba_versions())
+    return info
 
 
 def bench_revision() -> str:
@@ -363,7 +382,8 @@ def run_bench(
         "machine": machine_info(),
         "config": {"quick": quick, "repeats": repeats,
                    "filter": name_filter, "include_suite": include_suite,
-                   "fiedler_policy": fiedler_policy},
+                   "fiedler_policy": fiedler_policy,
+                   "backend": _requested_backend()},
         "kernels": kernels,
         "suite": suite_section,
         "total_s": time.perf_counter() - start,
@@ -482,6 +502,10 @@ def diff_bench(baseline: dict, current: dict, *, threshold: float = 0.25) -> dic
             (baseline.get("config") or {}).get("fiedler_policy", "default"),
             (current.get("config") or {}).get("fiedler_policy", "default"),
         ),
+        "backends": (
+            (baseline.get("config") or {}).get("backend", "auto"),
+            (current.get("config") or {}).get("backend", "auto"),
+        ),
         "threshold": threshold,
         "rows": rows,
         "regressions": regressions,
@@ -493,6 +517,96 @@ def diff_bench(baseline: dict, current: dict, *, threshold: float = 0.25) -> dic
         "total_new_s": total_new,
         "total_speedup": total_base / total_new if total_new > 0 else math.inf,
     }
+
+
+# --------------------------------------------------------------------- #
+# trajectory across many artifacts
+# --------------------------------------------------------------------- #
+def trend_bench(artifacts: list[dict]) -> dict:
+    """Kernel-group geomean trajectory across checked-in bench artifacts.
+
+    Sorts the artifacts by their recorded ``created_s`` timestamp, then for
+    each consecutive pair computes the per-group geometric-mean speedup over
+    the kernel names present in **both** artifacts (suite cells excluded —
+    they re-time ordering work the kernel rows already cover).  Speedups are
+    chained cumulatively, so the last step's ``cumulative`` column answers
+    "how much faster is the newest artifact than the oldest, per group".
+
+    Returns a dict with ``groups`` (sorted union of group names), ``steps``
+    (one per consecutive pair: ``base_rev``, ``new_rev``, the two
+    ``backend`` tiers, per-group ``speedups``/``cumulative`` maps and
+    ``common`` row counts), suitable for :func:`format_trend`.
+    """
+    if len(artifacts) < 2:
+        raise ValueError("trend needs at least two bench artifacts")
+    ordered = sorted(artifacts, key=lambda a: float(a.get("created_s", 0.0)))
+
+    def rows(artifact: dict) -> dict[str, tuple[str, float]]:
+        return {
+            k["name"]: (k.get("group", "?"), float(k["best_s"]))
+            for k in artifact.get("kernels", [])
+        }
+
+    groups: set[str] = set()
+    for artifact in ordered:
+        groups.update(group for group, _ in rows(artifact).values())
+    group_list = sorted(groups)
+
+    steps = []
+    cumulative = {group: 1.0 for group in group_list}
+    for base, new in zip(ordered, ordered[1:]):
+        base_rows, new_rows = rows(base), rows(new)
+        logs: dict[str, list[float]] = {group: [] for group in group_list}
+        for name, (group, base_s) in base_rows.items():
+            if name not in new_rows:
+                continue
+            new_s = new_rows[name][1]
+            if base_s > 0 and new_s > 0:
+                logs[group].append(math.log(base_s / new_s))
+        speedups = {
+            group: math.exp(sum(values) / len(values)) if values else None
+            for group, values in logs.items()
+        }
+        for group, speedup in speedups.items():
+            if speedup is not None:
+                cumulative[group] *= speedup
+        steps.append({
+            "base_rev": base.get("rev", "?"),
+            "new_rev": new.get("rev", "?"),
+            "backends": (
+                (base.get("config") or {}).get("backend", "auto"),
+                (new.get("config") or {}).get("backend", "auto"),
+            ),
+            "speedups": speedups,
+            "cumulative": dict(cumulative),
+            "common": {group: len(values) for group, values in logs.items()},
+        })
+    return {"groups": group_list, "steps": steps,
+            "revisions": [a.get("rev", "?") for a in ordered]}
+
+
+def format_trend(trend: dict) -> str:
+    """Human-readable table of a :func:`trend_bench` result."""
+    groups = trend["groups"]
+    lines = [
+        "bench trend: " + " -> ".join(trend["revisions"]),
+        f"{'step':<28} " + " ".join(f"{group:>12}" for group in groups),
+    ]
+
+    def cell(value) -> str:
+        return f"{value:>11.2f}x" if value is not None else f"{'-':>12}"
+
+    for step in trend["steps"]:
+        label = f"{step['base_rev']} -> {step['new_rev']}"
+        if step["backends"][0] != step["backends"][1]:
+            label += f" [{step['backends'][0]}->{step['backends'][1]}]"
+        lines.append(f"{label:<28} "
+                     + " ".join(cell(step["speedups"].get(g)) for g in groups))
+    if trend["steps"]:
+        final = trend["steps"][-1]["cumulative"]
+        lines.append(f"{'cumulative':<28} "
+                     + " ".join(cell(final.get(g)) for g in groups))
+    return "\n".join(lines)
 
 
 def format_diff(diff: dict) -> str:
@@ -518,6 +632,13 @@ def format_diff(diff: dict) -> str:
     if policies[0] != policies[1]:
         lines.append(f"WARNING: fiedler policies differ (baseline {policies[0]}, "
                      f"current {policies[1]}) — timings are not like-for-like")
+    tiers = diff.get("backends", ("auto", "auto"))
+    if tiers[0] != tiers[1]:
+        # Deliberately a NOTE, not a gate failure: diffing a numpy artifact
+        # against a numba artifact is how backend speedups get measured.
+        lines.append(f"NOTE: backend tiers differ (baseline {tiers[0]}, "
+                     f"current {tiers[1]}) — this diff measures the backend, "
+                     f"not the revision")
     lines.append(f"total micro-suite wall time: {diff['total_base_s']:.3f}s -> "
                  f"{diff['total_new_s']:.3f}s ({diff['total_speedup']:.2f}x)")
     if diff["regressions"]:

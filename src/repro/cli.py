@@ -339,7 +339,52 @@ def _activate_faults(spec_arg) -> "int | None":
     return None
 
 
+def _activate_backend(backend_arg) -> "int | None":
+    """Validate and activate ``--backend NAME``, or return exit code 2.
+
+    The choice is exported as ``REPRO_BACKEND`` so suite worker processes
+    inherit it (same pattern as ``REPRO_STORE`` / ``REPRO_FAULTS``).  An
+    explicit request for an unavailable tier (``--backend numba`` without
+    numba installed) is rejected up front with a structured message —
+    in-process dispatch would otherwise silently fall back per kernel,
+    which is the right behavior for an *inherited* environment variable
+    but not for a flag the user just typed.
+    """
+    import os
+
+    from repro import backends
+
+    if backend_arg is None:
+        # No flag: an inherited REPRO_BACKEND still applies; validate it the
+        # same way so a typo'd explicit tier fails loudly here rather than
+        # being silently treated as auto inside workers.
+        inherited = os.environ.get("REPRO_BACKEND", "").strip().lower()
+        if inherited and inherited in backends.REQUESTABLE:
+            try:
+                backends.require_backend(inherited)
+            except backends.BackendUnavailableError as exc:
+                print(f"REPRO_BACKEND: {exc}", file=sys.stderr)
+                return 2
+        return None
+    try:
+        choice = backends.require_backend(backend_arg)
+    except ValueError as exc:
+        print(f"--backend: {exc}", file=sys.stderr)
+        return 2
+    except backends.BackendUnavailableError as exc:
+        print(f"--backend: {exc}", file=sys.stderr)
+        return 2
+    os.environ["REPRO_BACKEND"] = choice
+    backends.set_backend(choice)
+    if choice != "auto":
+        print(f"kernel backend: {choice}", file=sys.stderr)
+    return None
+
+
 def _cmd_suite(args) -> int:
+    failed_backend = _activate_backend(args.backend)
+    if failed_backend is not None:
+        return failed_backend
     store = _activate_store(args.store)
     failed_faults = _activate_faults(args.inject_faults)
     if failed_faults is not None:
@@ -672,11 +717,34 @@ def _cmd_bench(args) -> int:
         default_artifact_path,
         diff_bench,
         format_diff,
+        format_trend,
         load_bench,
         run_bench,
         save_bench,
+        trend_bench,
     )
 
+    if args.trend is not None:
+        # Pure artifact analysis: no kernels run, no store or backend needed.
+        if len(args.trend) < 2:
+            print("--trend needs at least two bench artifacts", file=sys.stderr)
+            return 2
+        artifacts = []
+        for path in args.trend:
+            try:
+                artifacts.append(load_bench(path))
+            except OSError as exc:
+                print(f"cannot read bench artifact {path}: {exc}", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        print(format_trend(trend_bench(artifacts)))
+        return 0
+
+    failed_backend = _activate_backend(args.backend)
+    if failed_backend is not None:
+        return failed_backend
     store = _activate_store(args.store)
     if args.repeats is not None and args.repeats < 1:
         print(f"--repeats must be a positive integer, got {args.repeats}",
@@ -846,6 +914,9 @@ def _cmd_serve(args) -> int:
 
     from repro.serve import ServeConfig
 
+    failed_backend = _activate_backend(args.backend)
+    if failed_backend is not None:
+        return failed_backend
     _activate_store(args.store)
     failed_faults = _activate_faults(args.inject_faults)
     if failed_faults is not None:
@@ -1093,6 +1164,9 @@ def _cmd_fetch(args) -> int:
     from repro.store.download import DownloadCache
 
     cache = DownloadCache(args.cache)
+    if args.register and args.no_ingest:
+        print("--register needs the ingest step; drop --no-ingest", file=sys.stderr)
+        return 2
     try:
         url = args.ref if "://" in args.ref else suitesparse_url(args.ref, fmt=args.fmt)
     except ValueError as exc:
@@ -1122,6 +1196,21 @@ def _cmd_fetch(args) -> int:
     if args.output:
         write_matrix_market(args.output, pattern.to_scipy(), field="pattern")
         print(f"  wrote pattern to {args.output}")
+    if args.register:
+        from repro.collections.external import register_external
+
+        try:
+            spec = register_external(
+                args.register, pattern,
+                meta={**meta, "source_url": record["url"],
+                      "sha256": record["sha256"]},
+            )
+        except ValueError as exc:
+            print(f"--register: {exc}", file=sys.stderr)
+            return 2
+        print(f"  registered as {spec.name} — run it with e.g. "
+              f"\"repro suite '{spec.name}'\" or "
+              f"\"repro reorder 'problem:{spec.name}'\"")
     return 0
 
 
@@ -1132,8 +1221,12 @@ def _cmd_problems(_args) -> int:
         print(f"  Table {table}: {names}")
     names = ", ".join(available_problems("random"))
     print(f"  Random families: {names}")
+    external = available_problems("external")
+    if external:
+        print(f"  External (fetched): {', '.join(external)}")
     print("Suite problem arguments accept globs, e.g. repro suite 'RANDOM/*'.")
-    print("External matrices: repro fetch Group/Name (SuiteSparse collection).")
+    print("External matrices: repro fetch Group/Name --register NAME "
+          "(SuiteSparse collection) makes them suite problems as EXT/NAME.")
     return 0
 
 
@@ -1251,6 +1344,14 @@ def build_parser() -> argparse.ArgumentParser:
                                    "across runs and worker processes (exported as "
                                    "REPRO_STORE; results are byte-identical with "
                                    "the store on or off)")
+    suite_parser.add_argument("--backend", default=None,
+                              choices=["auto", "numpy", "python", "numba"],
+                              help="kernel backend tier (exported as "
+                                   "REPRO_BACKEND so workers inherit it): "
+                                   "'auto' engages the compiled tier above the "
+                                   "cost-model size threshold when numba is "
+                                   "installed; 'numba' without numba exits 2; "
+                                   "results are bit-identical across tiers")
     suite_parser.add_argument("--baseline", default=None,
                               help="diff against a saved results.json (exit 1 on drift)")
     suite_parser.add_argument("--progress", default=None, action=argparse.BooleanOptionalAction,
@@ -1317,6 +1418,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    "note: warm structural artifacts change what a "
                                    "timed kernel measures, so compare like against "
                                    "like")
+    bench_parser.add_argument("--backend", default=None,
+                              choices=["auto", "numpy", "python", "numba"],
+                              help="kernel backend tier to time (recorded in the "
+                                   "artifact config; diff a numpy artifact "
+                                   "--against a numba one to measure the "
+                                   "compiled-tier speedup)")
+    bench_parser.add_argument("--trend", default=None, nargs="+",
+                              metavar="BENCH.json",
+                              help="no bench run: chart the kernel-group geomean "
+                                   "speedup trajectory across two or more saved "
+                                   "artifacts (sorted by their recorded creation "
+                                   "time) and exit")
     bench_parser.set_defaults(func=_cmd_bench)
 
     cache_parser = sub.add_parser(
@@ -1475,6 +1588,13 @@ def build_parser() -> argparse.ArgumentParser:
     fetch_parser.add_argument("--output", default=None,
                               help="write the ingested pattern to this Matrix "
                                    "Market file")
+    fetch_parser.add_argument("--register", default=None, metavar="NAME",
+                              help="register the ingested pattern as the "
+                                   "first-class suite problem EXT/NAME "
+                                   "(persisted under REPRO_EXTERNAL_DIR or the "
+                                   "fetch cache; usable anywhere a problem name "
+                                   "is: repro suite, reorder, compare, cache "
+                                   "prewarm)")
     fetch_parser.set_defaults(func=_cmd_fetch)
 
     serve_parser = sub.add_parser(
@@ -1521,6 +1641,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="activate deterministic fault injection "
                                    "(exported as REPRO_FAULTS; see "
                                    "docs/robustness.md)")
+    serve_parser.add_argument("--backend", default=None,
+                              choices=["auto", "numpy", "python", "numba"],
+                              help="kernel backend tier for served orderings "
+                                   "(exported as REPRO_BACKEND so subprocess "
+                                   "workers inherit it; reported by /statsz)")
     serve_parser.set_defaults(func=_cmd_serve)
 
     order_parser = sub.add_parser(

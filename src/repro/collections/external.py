@@ -17,6 +17,18 @@ existing readers:
 * :func:`fetch_problem` — the two composed: collection reference or URL in,
   ``(pattern, meta)`` out.  Exposed on the command line as ``repro fetch``.
 
+Fetched matrices can additionally be **registered** as first-class suite
+problems (``repro fetch HB/bcsstk13 --register BCSSTK13``):
+:func:`register_external` persists the ingested pattern (``.npz`` + JSON
+sidecar) under the registration directory and the problem registry resolves
+it as ``EXT/BCSSTK13`` — usable anywhere a registry name is
+(``repro suite 'EXT/*'``, ``problem:EXT/BCSSTK13``, the server's problem
+cache).  External problems are fixed-size: the ``scale`` argument is ignored
+(the real matrix *is* the size), and the registry reports their exact
+``n * nnz`` to the scheduler's cost model.  The directory defaults to
+``<fetch cache>/registered`` and follows ``REPRO_EXTERNAL_DIR`` /
+``REPRO_FETCH_CACHE``, both of which suite worker processes inherit.
+
 Tests exercise the full path offline by pointing ``fetch_url`` at ``file://``
 fixture URLs — the network is only touched for genuinely remote URLs.
 """
@@ -25,22 +37,34 @@ from __future__ import annotations
 
 import gzip
 import io
+import json
+import os
+import re
 import tarfile
 import urllib.request
+from dataclasses import dataclass, field
 from pathlib import Path
+
+import numpy as np
 
 from repro.sparse.io_hb import read_harwell_boeing
 from repro.sparse.io_mm import read_matrix_market
 from repro.sparse.ops import structure_from_matrix
 from repro.sparse.pattern import SymmetricPattern
-from repro.store.download import DownloadCache
+from repro.store.download import DownloadCache, default_fetch_cache_root
 
 __all__ = [
     "DEFAULT_COLLECTION_URL",
+    "EXTERNAL_PREFIX",
+    "ExternalSpec",
     "suitesparse_url",
     "fetch_url",
     "ingest_file",
     "fetch_problem",
+    "external_dir",
+    "register_external",
+    "registered_externals",
+    "get_external_spec",
     "DownloadCache",
 ]
 
@@ -185,3 +209,157 @@ def fetch_problem(
     record = fetch_url(url, cache=cache, opener=opener, force=force)
     pattern, meta = ingest_file(record["path"], filename=record["filename"])
     return pattern, {**record, **meta}
+
+
+# --------------------------------------------------------------------------- #
+# Registered external problems (``EXT/<NAME>``).
+# --------------------------------------------------------------------------- #
+
+#: Registry namespace of registered external matrices.
+EXTERNAL_PREFIX = "EXT/"
+
+_NAME_RE = re.compile(r"^[A-Z0-9][A-Z0-9_.\-]*$")
+
+
+def external_dir(directory: str | os.PathLike | None = None) -> Path:
+    """The directory holding registered external problems.
+
+    Resolution order: explicit *directory* argument, the
+    ``REPRO_EXTERNAL_DIR`` environment variable, else ``registered/`` inside
+    the download cache root (which itself follows ``REPRO_FETCH_CACHE``).
+    Environment-based so suite worker processes resolve the same problems
+    as the coordinator that spawned them.
+    """
+    if directory is not None:
+        return Path(directory)
+    env = os.environ.get("REPRO_EXTERNAL_DIR", "")
+    if env:
+        return Path(env)
+    return default_fetch_cache_root() / "registered"
+
+
+def _normalize_external_name(name: str) -> str:
+    key = str(name).strip().upper()
+    if key.startswith(EXTERNAL_PREFIX):
+        key = key[len(EXTERNAL_PREFIX):]
+    if not _NAME_RE.match(key):
+        raise ValueError(
+            f"invalid external problem name {name!r}: use letters, digits, "
+            "'_', '.', '-' (the registry stores it upper-case as "
+            f"{EXTERNAL_PREFIX}<NAME>)"
+        )
+    return key
+
+
+@dataclass(frozen=True)
+class ExternalSpec:
+    """A registered external matrix, resolvable as a suite problem.
+
+    The external twin of :class:`repro.collections.registry.ProblemSpec`:
+    instead of a scalable surrogate generator it wraps a real, fixed-size
+    pattern persisted on disk.  ``build(scale)`` ignores *scale* — the
+    matrix is whatever was fetched — and the registry reports the exact
+    ``n * nnz`` to the cost model (``table == "external"``).
+    """
+
+    name: str
+    path: Path
+    n: int
+    nnz: int
+    description: str = ""
+    meta: dict = field(default_factory=dict)
+    table: str = "external"
+
+    def build(self, scale: float | None = None) -> SymmetricPattern:
+        """Load the registered pattern (*scale* is ignored: fixed size)."""
+        with np.load(self.path) as payload:
+            n = int(payload["n"])
+            pattern = SymmetricPattern(
+                n,
+                payload["indptr"].astype(np.intp),
+                payload["indices"].astype(np.intp),
+            )
+        return pattern
+
+
+def register_external(
+    name: str,
+    pattern: SymmetricPattern,
+    meta: dict | None = None,
+    directory: str | os.PathLike | None = None,
+) -> ExternalSpec:
+    """Persist *pattern* as the registered external problem ``EXT/<NAME>``.
+
+    Writes ``<dir>/<NAME>.npz`` (the CSR structure) and ``<dir>/<NAME>.json``
+    (sizes plus the fetch/ingest *meta*: source URL, sha256, format),
+    atomically.  Re-registering a name overwrites it.  Returns the spec.
+    """
+    from repro.utils.atomic import atomic_output_file, atomic_write_text
+
+    key = _normalize_external_name(name)
+    root = external_dir(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    npz_path = root / f"{key}.npz"
+    with atomic_output_file(npz_path, suffix=".npz") as tmp:
+        np.savez(tmp, n=pattern.n, indptr=pattern.indptr, indices=pattern.indices)
+    record = {
+        "name": f"{EXTERNAL_PREFIX}{key}",
+        "n": int(pattern.n),
+        "nnz": int(pattern.nnz),
+        "meta": dict(meta or {}),
+    }
+    atomic_write_text(root / f"{key}.json", json.dumps(record, indent=2) + "\n")
+    return get_external_spec(key, directory=directory)
+
+
+def _spec_from_sidecar(side: Path) -> ExternalSpec | None:
+    npz_path = side.with_suffix(".npz")
+    if not npz_path.exists():
+        return None
+    try:
+        record = json.loads(side.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict) or "n" not in record or "nnz" not in record:
+        return None
+    meta = record.get("meta") or {}
+    source = meta.get("url") or meta.get("source") or ""
+    description = f"registered external matrix ({source})" if source else \
+        "registered external matrix"
+    return ExternalSpec(
+        name=f"{EXTERNAL_PREFIX}{side.stem}",
+        path=npz_path,
+        n=int(record["n"]),
+        nnz=int(record["nnz"]),
+        description=description,
+        meta=meta,
+    )
+
+
+def registered_externals(
+    directory: str | os.PathLike | None = None,
+) -> dict[str, ExternalSpec]:
+    """Name → spec of every registered external problem, sorted by name."""
+    root = external_dir(directory)
+    if not root.is_dir():
+        return {}
+    specs = {}
+    for side in sorted(root.glob("*.json")):
+        spec = _spec_from_sidecar(side)
+        if spec is not None:
+            specs[spec.name] = spec
+    return specs
+
+
+def get_external_spec(
+    name: str, directory: str | os.PathLike | None = None
+) -> ExternalSpec | None:
+    """The spec registered under *name* (with or without ``EXT/``), or None."""
+    try:
+        key = _normalize_external_name(name)
+    except ValueError:
+        return None
+    side = external_dir(directory) / f"{key}.json"
+    if not side.exists():
+        return None
+    return _spec_from_sidecar(side)

@@ -444,14 +444,26 @@ class UnknownProblemError(KeyError):
         return self.message
 
 
+def _external_problems() -> dict:
+    """Registered external matrices (``EXT/<NAME>``), name → spec.
+
+    Imported lazily: the external module pulls in the matrix readers and the
+    download cache, none of which the surrogate-only paths need.
+    """
+    from repro.collections.external import registered_externals
+
+    return registered_externals()
+
+
 def available_problems(table: str | None = None, paper_order: bool = False) -> list[str]:
     """Names of the registered problems, optionally restricted to one table.
 
-    ``table`` may be a paper table (``"4.1"``, ``"4.2"``, ``"4.3"``) or
-    ``"random"`` for the generated random-graph families; ``None`` keeps the
-    historical default of the 18 paper matrices (the random families are
-    opt-in via explicit names, globs, or ``table="random"`` so that the
-    default suite matches the paper's).
+    ``table`` may be a paper table (``"4.1"``, ``"4.2"``, ``"4.3"``),
+    ``"random"`` for the generated random-graph families, or ``"external"``
+    for matrices registered via ``repro fetch --register``; ``None`` keeps
+    the historical default of the 18 paper matrices (the other tables are
+    opt-in via explicit names, globs, or ``table=...`` so that the default
+    suite matches the paper's).
 
     ``paper_order=True`` returns the names in the row order of the paper's
     tables (the registration order) instead of alphabetically — the order the
@@ -459,6 +471,8 @@ def available_problems(table: str | None = None, paper_order: bool = False) -> l
     """
     if table == "random":
         names = list(RANDOM_PROBLEMS)
+    elif table == "external":
+        names = list(_external_problems())
     else:
         names = [
             name for name, spec in PAPER_PROBLEMS.items()
@@ -468,14 +482,24 @@ def available_problems(table: str | None = None, paper_order: bool = False) -> l
 
 
 def all_problems() -> list[str]:
-    """Every registered problem name: paper matrices then random families."""
-    return list(PAPER_PROBLEMS) + list(RANDOM_PROBLEMS)
+    """Every registered problem name: paper matrices, random families, then
+    registered external matrices (``EXT/*``)."""
+    return list(PAPER_PROBLEMS) + list(RANDOM_PROBLEMS) + list(_external_problems())
 
 
-def get_problem_spec(name: str) -> ProblemSpec | GeneratorSpec | None:
-    """The spec registered under ``name`` (case-insensitive), or ``None``."""
+def get_problem_spec(name: str) -> "ProblemSpec | GeneratorSpec | None":
+    """The spec registered under ``name`` (case-insensitive), or ``None``.
+
+    ``EXT/``-prefixed names resolve against the registered external matrices
+    (:func:`repro.collections.external.registered_externals`).
+    """
     key = str(name).strip().upper()
-    return PAPER_PROBLEMS.get(key) or RANDOM_PROBLEMS.get(key)
+    spec = PAPER_PROBLEMS.get(key) or RANDOM_PROBLEMS.get(key)
+    if spec is None and key.startswith("EXT/"):
+        from repro.collections.external import get_external_spec
+
+        spec = get_external_spec(key)
+    return spec
 
 
 def _lookup(name: str) -> ProblemSpec | GeneratorSpec:
@@ -522,22 +546,31 @@ def expected_problem_size(problem: str, scale: float | None = None) -> float:
 
     Paper problems use the paper's reported sizes rescaled by ``scale**2``
     (vertex count and nonzeros both scale roughly linearly with ``scale``);
-    random-graph families use their analytic ``expected_n``/``expected_nnz``.
-    Unknown problems return the neutral weight 1.0 — the historical fallback
-    of :class:`repro.batch.sched.CostModel`.
+    random-graph families use their analytic ``expected_n``/``expected_nnz``;
+    registered external matrices (``EXT/*``) are fixed-size and report their
+    exact ``n * nnz`` regardless of *scale*.  Unknown problems return the
+    neutral weight 1.0 — the historical fallback of
+    :class:`repro.batch.sched.CostModel`.
     """
+    from repro.collections.external import ExternalSpec
+
     spec = get_problem_spec(problem)
     effective = default_scale() if scale is None else float(scale)
     if isinstance(spec, ProblemSpec):
         return float(spec.paper_n) * float(spec.paper_nnz) * effective**2
     if isinstance(spec, GeneratorSpec):
         return float(spec.expected_n(effective)) * float(spec.expected_nnz(effective))
+    if isinstance(spec, ExternalSpec):
+        return float(spec.n) * float(spec.nnz)
     return 1.0
 
 
 def has_analytic_size(problem: str) -> bool:
-    """True when the problem carries analytic size functions (random family)."""
-    return isinstance(get_problem_spec(problem), GeneratorSpec)
+    """True when the problem's size is known without building it (analytic
+    random family, or a fixed-size registered external matrix)."""
+    from repro.collections.external import ExternalSpec
+
+    return isinstance(get_problem_spec(problem), (GeneratorSpec, ExternalSpec))
 
 
 def load_problem(
